@@ -1,0 +1,66 @@
+"""Figure 11: count of collected switches and causal-switch coverage ratio.
+
+Hawkeye's in-network causality analysis collects far fewer switches than
+full polling while still covering 100% of the causally relevant ones; the
+victim-only method collects the fewest but misses part of the causality
+(notably on deadlocks).
+"""
+
+import pytest
+
+from conftest import ANOMALY_BUILDERS, print_table
+from repro.baselines import SystemKind
+from repro.experiments import RunConfig, run_scenario
+
+SYSTEMS = [SystemKind.HAWKEYE, SystemKind.FULL_POLLING, SystemKind.VICTIM_ONLY]
+
+
+def sweep():
+    rows = {}
+    for name, builder in ANOMALY_BUILDERS.items():
+        for system in SYSTEMS:
+            result = run_scenario(builder(seed=1), RunConfig(system=system))
+            rows[(name, system)] = (
+                len(result.used_switches()),
+                result.causal_coverage,
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_collected_switches_and_coverage(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "Figure 11: collected switch count / causal coverage",
+        ("anomaly", "system", "collected", "coverage"),
+        [
+            (name, system.value, count, f"{coverage:.2f}")
+            for (name, system), (count, coverage) in sorted(
+                results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+            )
+        ],
+    )
+
+    total_switches = 20  # fat-tree K=4 (ring scenarios have 4)
+    for name in ANOMALY_BUILDERS:
+        hk_count, hk_cov = results[(name, SystemKind.HAWKEYE)]
+        fp_count, fp_cov = results[(name, SystemKind.FULL_POLLING)]
+        vo_count, vo_cov = results[(name, SystemKind.VICTIM_ONLY)]
+
+        # Hawkeye covers all causal switches on every anomaly.
+        assert hk_cov == 1.0, f"{name}: Hawkeye must cover the causal set"
+        assert fp_cov == 1.0
+        # ... with no more collections than polling everything.
+        assert hk_count <= fp_count
+        # Victim-only never collects more than Hawkeye.
+        assert vo_count <= hk_count
+
+    # On fat-tree anomalies Hawkeye collects a strict subset of the fabric.
+    hk_incast, _ = results[("incast-backpressure", SystemKind.HAWKEYE)]
+    fp_incast, _ = results[("incast-backpressure", SystemKind.FULL_POLLING)]
+    assert hk_incast < fp_incast <= total_switches
+
+    # Victim-only misses causality on the deadlock cases.
+    _, vo_loop_cov = results[("in-loop-deadlock", SystemKind.VICTIM_ONLY)]
+    assert vo_loop_cov < 1.0

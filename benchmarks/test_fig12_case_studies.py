@@ -1,0 +1,92 @@
+"""Figure 12 / §4.4: provenance-graph case studies for the four typical NPAs.
+
+For each §2.1 anomaly this bench regenerates the provenance graph, checks
+its structure against the paper's Figure 12 description, and emits the
+Graphviz rendering (the repository's analog of the figure).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import AnomalyType, EdgeKind, RootCauseKind, find_port_loops
+from repro.experiments import RunConfig, run_scenario
+from repro.workloads import (
+    in_loop_deadlock_scenario,
+    incast_backpressure_scenario,
+    out_of_loop_deadlock_scenario,
+    pfc_storm_scenario,
+)
+
+
+def run_cases():
+    cases = {
+        "12a-incast": incast_backpressure_scenario(seed=1),
+        "12b-storm": pfc_storm_scenario(seed=1),
+        "12c-in-loop": in_loop_deadlock_scenario(seed=1),
+        "12d-out-of-loop": out_of_loop_deadlock_scenario(seed=1),
+    }
+    out = {}
+    for label, scenario in cases.items():
+        result = run_scenario(scenario, RunConfig())
+        outcome = result.primary_outcome()
+        out[label] = (scenario, outcome.annotated, outcome.diagnosis)
+    return out
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_provenance_case_studies(benchmark):
+    cases = benchmark.pedantic(run_cases, rounds=1, iterations=1)
+
+    rows = []
+    for label, (scenario, annotated, diagnosis) in cases.items():
+        g = annotated.graph
+        rows.append(
+            (
+                label,
+                len(g.ports),
+                len(g.flows),
+                sum(1 for _ in g.edges(EdgeKind.PORT_PORT)),
+                sum(1 for _ in g.edges(EdgeKind.FLOW_PORT)),
+                sum(1 for _ in g.edges(EdgeKind.PORT_FLOW)),
+                diagnosis.primary().anomaly.value,
+            )
+        )
+    print_table(
+        "Figure 12: provenance graphs for the typical anomalies",
+        ("case", "ports", "flows", "port-port", "flow-port", "port-flow", "diagnosis"),
+        rows,
+    )
+
+    # 12(a): PFC path ends at a port with positive (red) port-flow edges.
+    scenario, annotated, diagnosis = cases["12a-incast"]
+    primary = diagnosis.primary()
+    assert primary.anomaly is AnomalyType.MICRO_BURST_INCAST
+    assert primary.initial_port == scenario.truth.initial_port
+    assert len(primary.pfc_path) >= 2
+    assert primary.culprit_flows, "Fig 12a highlights contributor flows"
+    dot = annotated.graph.to_dot()
+    assert "digraph" in dot and "red" in dot
+
+    # 12(b): PFC path with no flow contention at the initial node.
+    _, annotated, diagnosis = cases["12b-storm"]
+    primary = diagnosis.primary()
+    assert primary.anomaly is AnomalyType.PFC_STORM
+    assert primary.root_cause is RootCauseKind.HOST_PFC_INJECTION
+    assert not primary.culprit_flows
+
+    # 12(c): a loop of port-level edges; every member stays in the loop.
+    _, annotated, diagnosis = cases["12c-in-loop"]
+    primary = diagnosis.primary()
+    assert primary.anomaly is AnomalyType.IN_LOOP_DEADLOCK
+    loops = find_port_loops(annotated.graph)
+    assert any(set(primary.loop) == set(l) for l in loops)
+    assert len(primary.loop) == 4
+    for port in primary.loop:
+        assert annotated.graph.port_out_degree(port) >= 1
+
+    # 12(d): the loop plus an escape branch to the injection point.
+    scenario, annotated, diagnosis = cases["12d-out-of-loop"]
+    primary = diagnosis.primary()
+    assert primary.anomaly is AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION
+    assert primary.injecting_source == scenario.truth.injecting_host
+    assert primary.initial_port not in primary.loop

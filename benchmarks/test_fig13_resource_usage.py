@@ -1,0 +1,71 @@
+"""Figure 13: hardware resource usage and telemetry memory scaling.
+
+13(a) is the Tofino prototype's resource footprint (modelled constants);
+13(b) shows memory vs epoch count and flow count: flow telemetry grows
+O(#flows) while the PFC causality structure and port telemetry stay small
+and constant, bounded by the port count.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import telemetry_memory, tofino_resource_usage
+from repro.units import KB
+
+
+def sweep_memory():
+    rows = []
+    for epochs in (2, 4, 8):
+        for flows in (1024, 4096, 16384):
+            usage = telemetry_memory(num_epochs=epochs, flow_slots=flows, num_ports=64)
+            rows.append((epochs, flows, usage))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13a_switch_resources(benchmark):
+    usage = benchmark.pedantic(tofino_resource_usage, rounds=1, iterations=1)
+    print_table(
+        "Figure 13(a): Tofino resource usage (fraction of budget)",
+        ("resource", "usage"),
+        [(name, f"{frac:.0%}") for name, frac in usage.items()],
+    )
+    # "Fits well on Tofino": every resource within budget.
+    assert all(frac <= 1.0 for frac in usage.values())
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13b_memory_scaling(benchmark):
+    rows = benchmark.pedantic(sweep_memory, rounds=1, iterations=1)
+    print_table(
+        "Figure 13(b): telemetry memory (KB)",
+        ("epochs", "flow slots", "flow telemetry", "port telemetry", "causality"),
+        [
+            (
+                epochs,
+                flows,
+                usage.flow_telemetry // KB,
+                usage.port_telemetry // KB,
+                usage.causality_structure // KB,
+            )
+            for epochs, flows, usage in rows
+        ],
+    )
+
+    by_key = {(e, f): u for e, f, u in rows}
+    # Flow telemetry grows linearly with the flow count...
+    assert (
+        by_key[(4, 16384)].flow_telemetry == 16 * by_key[(4, 1024)].flow_telemetry
+    )
+    # ... while port telemetry and the causality structure do not grow at all.
+    assert (
+        by_key[(4, 16384)].port_telemetry == by_key[(4, 1024)].port_telemetry
+    )
+    assert (
+        by_key[(4, 16384)].causality_structure
+        == by_key[(4, 1024)].causality_structure
+    )
+    # Memory scales with the epoch count.
+    assert by_key[(8, 4096)].flow_telemetry == 2 * by_key[(4, 4096)].flow_telemetry
+    # At the paper's sizing the whole structure is a few MB: feasible SRAM.
+    assert by_key[(4, 4096)].total < 4_000 * KB

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare Hawkeye against the paper's baselines on one anomaly.
+
+Runs the same incast back-pressure scenario under every diagnosis system
+(§4.2's comparison set) and prints accuracy plus the overhead accounting —
+a miniature of Figures 8, 9 and 11.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.baselines import SystemKind
+from repro.experiments import RunConfig, diagnosis_correct, run_scenario
+from repro.workloads import incast_backpressure_scenario
+
+SYSTEMS = [
+    SystemKind.HAWKEYE,
+    SystemKind.FULL_POLLING,
+    SystemKind.VICTIM_ONLY,
+    SystemKind.SPIDERMON,
+    SystemKind.NETSIGHT,
+    SystemKind.PORT_ONLY,
+    SystemKind.FLOW_ONLY,
+]
+
+
+def main() -> None:
+    print("incast back-pressure (Figure 1a) under each diagnosis system\n")
+    header = (
+        f"{'system':14s} {'verdict':10s} {'anomaly reported':38s} "
+        f"{'switches':>8s} {'telemetry B':>12s} {'extra wire B':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for system in SYSTEMS:
+        scenario = incast_backpressure_scenario(seed=1)
+        result = run_scenario(scenario, RunConfig(system=system))
+        diagnosis = result.diagnosis()
+        if diagnosis is None or not diagnosis.findings:
+            verdict, reported = "MISSED", "-"
+        elif diagnosis_correct(diagnosis, scenario.truth):
+            verdict, reported = "CORRECT", diagnosis.primary().anomaly.value
+        else:
+            verdict, reported = "WRONG", diagnosis.primary().anomaly.value
+        print(
+            f"{system.value:14s} {verdict:10s} {reported:38s} "
+            f"{len(result.used_switches()):>8d} {result.processing_bytes:>12,} "
+            f"{result.bandwidth_bytes:>12,}"
+        )
+
+    print(
+        "\nExpected shape (paper, Fig 8/9/11): Hawkeye and full-polling are"
+        "\ncorrect, but full-polling reads every switch; PFC-blind systems"
+        "\n(SpiderMon/NetSight) misread the anomaly; NetSight's per-packet"
+        "\npostcards dominate every overhead column."
+    )
+
+
+if __name__ == "__main__":
+    main()

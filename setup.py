@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package (and no network), so the
+PEP 660 editable-install path is unavailable; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Hawkeye reproduction: diagnosing RDMA network performance anomalies
+with PFC provenance (SIGCOMM 2025).
+
+Public API layout:
+
+- :mod:`repro.topology` — fabric graphs, builders, ECMP routing
+- :mod:`repro.sim` — discrete-event RDMA/PFC network simulator
+- :mod:`repro.telemetry` — Hawkeye's PFC-aware epoch telemetry
+- :mod:`repro.collection` — detection agent, polling packets, collection
+- :mod:`repro.core` — provenance graph construction and diagnosis
+- :mod:`repro.baselines` — SpiderMon, NetSight, polling/telemetry ablations
+- :mod:`repro.workloads` — traffic generation and anomaly injectors
+- :mod:`repro.experiments` — scenario runner, scoring, overhead accounting
+"""
+
+__version__ = "1.0.0"

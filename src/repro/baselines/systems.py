@@ -1,0 +1,111 @@
+"""Baseline system definitions and their overhead models (§4.2/§4.3).
+
+Each system is a combination of a *collection strategy* (which switches
+report), a *visibility transform* (what the reports contain) and an
+*overhead model* (bytes collected for diagnosis, Fig 9a; extra on-wire
+bytes, Fig 9b):
+
+================  ==========================  =========================
+system            collection                  visibility
+================  ==========================  =========================
+HAWKEYE           victim path + PFC causality full (PFC-aware)
+FULL_POLLING      every switch                full
+VICTIM_ONLY       victim path only            full
+PORT_ONLY         victim path + PFC causality port counters + meters
+FLOW_ONLY         victim path only            flow entries only
+SPIDERMON         victim path only            PFC-blind flow telemetry
+NETSIGHT          every switch                per-packet postcards,
+                                              PFC-blind
+================  ==========================  =========================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..telemetry.snapshot import SwitchReport
+from .transforms import (
+    strip_flow_telemetry,
+    strip_pfc_visibility,
+    strip_port_causality,
+)
+
+# Wire/record constants from the paper's descriptions.
+SPIDERMON_FLOW_RECORD_BYTES = 36  # "36 bytes per flow"
+SPIDERMON_HEADER_BYTES = 2  # "an extra 16-bit header field in every packet"
+NETSIGHT_POSTCARD_BYTES = 15  # "~15 bytes per packet and per average hop"
+
+
+class SystemKind(enum.Enum):
+    HAWKEYE = "hawkeye"
+    FULL_POLLING = "full-polling"
+    VICTIM_ONLY = "victim-only"
+    PORT_ONLY = "port-only"
+    FLOW_ONLY = "flow-only"
+    SPIDERMON = "spidermon"
+    NETSIGHT = "netsight"
+
+    @property
+    def traces_pfc(self) -> bool:
+        """Does polling propagate onto the PFC spreading path?"""
+        return self in (SystemKind.HAWKEYE, SystemKind.PORT_ONLY)
+
+    @property
+    def collects_everywhere(self) -> bool:
+        return self in (SystemKind.FULL_POLLING, SystemKind.NETSIGHT)
+
+    @property
+    def uses_polling_packets(self) -> bool:
+        return self in (
+            SystemKind.HAWKEYE,
+            SystemKind.VICTIM_ONLY,
+            SystemKind.PORT_ONLY,
+            SystemKind.FLOW_ONLY,
+        )
+
+    @property
+    def pfc_blind(self) -> bool:
+        return self in (SystemKind.SPIDERMON, SystemKind.NETSIGHT)
+
+
+def apply_visibility(kind: SystemKind, report: SwitchReport) -> SwitchReport:
+    """Reduce a full report to what ``kind``'s telemetry records."""
+    if kind is SystemKind.PORT_ONLY:
+        return strip_flow_telemetry(report)
+    if kind is SystemKind.FLOW_ONLY:
+        return strip_port_causality(report)
+    if kind.pfc_blind:
+        return strip_pfc_visibility(report)
+    return report
+
+
+def processing_overhead_bytes(
+    kind: SystemKind,
+    reports: dict,
+    data_pkt_hops: int,
+) -> int:
+    """Bytes of telemetry shipped to the analyzer for one diagnosis (Fig 9a)."""
+    if kind is SystemKind.NETSIGHT:
+        # Every packet leaves a postcard at every hop; all are collected.
+        return data_pkt_hops * NETSIGHT_POSTCARD_BYTES
+    if kind is SystemKind.SPIDERMON:
+        flow_entries = sum(r.num_flow_entries() for r in reports.values())
+        return flow_entries * SPIDERMON_FLOW_RECORD_BYTES
+    return sum(r.payload_bytes() for r in reports.values())
+
+
+def bandwidth_overhead_bytes(
+    kind: SystemKind,
+    polling_packets: int,
+    polling_packet_size: int,
+    data_pkts_sent: int,
+    data_pkt_hops: int,
+) -> int:
+    """Extra on-wire monitoring bytes during the run (Fig 9b)."""
+    if kind is SystemKind.NETSIGHT:
+        return data_pkt_hops * NETSIGHT_POSTCARD_BYTES
+    if kind is SystemKind.SPIDERMON:
+        return data_pkts_sent * SPIDERMON_HEADER_BYTES
+    if kind is SystemKind.FULL_POLLING:
+        return 0  # no trigger traffic; collection is out-of-band
+    return polling_packets * polling_packet_size

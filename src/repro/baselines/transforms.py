@@ -1,0 +1,87 @@
+"""Visibility transforms modelling what each baseline's telemetry can see.
+
+The evaluation's baselines differ along two axes: *which switches* they
+collect from (a collection strategy, see the runner) and *what their
+records contain* (a visibility limitation).  The transforms below apply the
+visibility limitations to full reports, so every system is diagnosed by the
+same Algorithm 1/2 machinery operating on exactly the data that system
+would have had:
+
+- ``strip_flow_telemetry``  — port-level-only systems (Fig 10): PFC paths
+  are traceable but flow root causes are invisible.
+- ``strip_port_causality``  — flow-level-only systems (Fig 10): flow impact
+  is visible but PFC spreading cannot be traced.
+- ``strip_pfc_visibility``  — traditional TCP-era systems (SpiderMon,
+  NetSight): no PFC counters, no causality meters; only classic queue
+  contention is observable.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.records import EpochData
+from ..telemetry.snapshot import SwitchReport
+
+
+def _copy_shell(report: SwitchReport) -> SwitchReport:
+    return SwitchReport(
+        switch=report.switch,
+        collect_time=report.collect_time,
+        port_status=dict(report.port_status),
+    )
+
+
+def strip_flow_telemetry(report: SwitchReport) -> SwitchReport:
+    """Keep port counters and causality meters; drop all flow entries."""
+    out = _copy_shell(report)
+    for epoch in report.epochs:
+        out.epochs.append(
+            EpochData(
+                epoch_number=epoch.epoch_number,
+                flows={},
+                ports={p: e.copy() for p, e in epoch.ports.items()},
+                meters=dict(epoch.meters),
+            )
+        )
+    return out
+
+
+def strip_port_causality(report: SwitchReport) -> SwitchReport:
+    """Keep flow entries; drop port counters, meters and PFC status."""
+    out = _copy_shell(report)
+    out.port_status = {}
+    for epoch in report.epochs:
+        out.epochs.append(
+            EpochData(
+                epoch_number=epoch.epoch_number,
+                flows={k: e.copy() for k, e in epoch.flows.items()},
+                ports={},
+                meters={},
+            )
+        )
+    return out
+
+
+def strip_pfc_visibility(report: SwitchReport) -> SwitchReport:
+    """Blind the report to PFC: zero paused counters, drop meters/status."""
+    out = _copy_shell(report)
+    out.port_status = {}
+    for epoch in report.epochs:
+        flows = {}
+        for key, entry in epoch.flows.items():
+            copied = entry.copy()
+            copied.paused_count = 0
+            flows[key] = copied
+        ports = {}
+        for port, entry in epoch.ports.items():
+            copied = entry.copy()
+            copied.paused_count = 0
+            ports[port] = copied
+        out.epochs.append(
+            EpochData(
+                epoch_number=epoch.epoch_number,
+                flows=flows,
+                ports=ports,
+                meters={},
+            )
+        )
+    return out

@@ -1,0 +1,150 @@
+"""Command-line interface: run a crafted anomaly scenario and diagnose it.
+
+Usage::
+
+    python -m repro list
+    python -m repro run incast-backpressure [--seed N] [--system hawkeye]
+                                            [--epoch-us 1048] [--threshold 3.0]
+                                            [--dot out.dot]
+
+``run`` builds the scenario, attaches the chosen diagnosis system, runs
+the simulation and prints the paper-style diagnosis report (optionally
+dumping the provenance graph as Graphviz).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines import SystemKind
+from .experiments import RunConfig, diagnosis_correct, run_scenario
+from .units import usec
+from .workloads import SCENARIO_BUILDERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hawkeye reproduction: craft, run and diagnose RDMA NPAs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available anomaly scenarios")
+
+    run = sub.add_parser("run", help="run one scenario end to end")
+    run.add_argument("scenario", choices=sorted(SCENARIO_BUILDERS))
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--system",
+        choices=[k.value for k in SystemKind],
+        default=SystemKind.HAWKEYE.value,
+        help="diagnosis system under test (default: hawkeye)",
+    )
+    run.add_argument("--epoch-us", type=float, default=1048.576,
+                     help="telemetry epoch size in microseconds")
+    run.add_argument("--threshold", type=float, default=3.0,
+                     help="detection threshold as a multiple of base RTT")
+    run.add_argument("--dot", metavar="FILE",
+                     help="write the provenance graph as Graphviz DOT")
+
+    sweep = sub.add_parser("sweep", help="grid-sweep parameters over scenarios")
+    sweep.add_argument("scenarios", nargs="+", choices=sorted(SCENARIO_BUILDERS))
+    sweep.add_argument("--systems", nargs="+",
+                       choices=[k.value for k in SystemKind],
+                       default=[SystemKind.HAWKEYE.value])
+    sweep.add_argument("--epochs-us", nargs="+", type=float, default=[1048.576])
+    sweep.add_argument("--thresholds", nargs="+", type=float, default=[3.0])
+    sweep.add_argument("--seeds", type=int, default=2,
+                       help="traces per grid cell (default 2)")
+    sweep.add_argument("--csv", metavar="FILE", help="write results as CSV")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(SCENARIO_BUILDERS):
+        scenario = SCENARIO_BUILDERS[name](seed=1)
+        print(f"{name:26s} {scenario.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    builder = SCENARIO_BUILDERS[args.scenario]
+    scenario = builder(seed=args.seed)
+    config = RunConfig(
+        system=SystemKind(args.system),
+        epoch_size_ns=usec(args.epoch_us),
+        threshold_multiplier=args.threshold,
+    )
+    print(f"scenario : {scenario.name}")
+    print(f"           {scenario.description}")
+    print(f"system   : {config.system.value}")
+    result = run_scenario(scenario, config)
+
+    outcome = result.primary_outcome()
+    if outcome is None:
+        print("\nno victim complained: nothing to diagnose")
+        return 1
+    print(f"\ntrigger  : {outcome.trigger.victim} at "
+          f"t={outcome.trigger.time_ns / 1e6:.3f} ms")
+    print(f"telemetry: {', '.join(sorted(outcome.reports_used))} "
+          f"({result.processing_bytes:,} B; causal coverage "
+          f"{result.causal_coverage:.0%})")
+    print()
+    print(outcome.diagnosis.describe())
+
+    verdict = diagnosis_correct(outcome.diagnosis, scenario.truth)
+    print(f"\nground truth: {scenario.truth.anomaly.value} -> "
+          f"{'CORRECT' if verdict else 'INCORRECT'}")
+
+    if args.dot and outcome.annotated is not None:
+        with open(args.dot, "w") as fh:
+            fh.write(outcome.annotated.graph.to_dot())
+        print(f"provenance graph written to {args.dot}")
+    return 0 if verdict else 2
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import grid, run_sweep, write_csv
+    from .workloads import SCENARIO_BUILDERS as builders
+
+    points = grid(
+        scenarios=args.scenarios,
+        systems=[SystemKind(s) for s in args.systems],
+        epoch_sizes_ns=[usec(e) for e in args.epochs_us],
+        thresholds=args.thresholds,
+    )
+    print(f"sweeping {len(points)} cells x {args.seeds} seeds ...")
+    results = run_sweep(
+        points,
+        builders,
+        seeds=range(1, args.seeds + 1),
+        progress=lambda p: print(f"  done: {p.scenario} / {p.system.value} / "
+                                 f"epoch={p.epoch_size_ns}ns / thr={p.threshold}"),
+    )
+    header = f"{'scenario':24s} {'system':13s} {'epoch':>9s} {'thr':>5s} {'prec':>6s} {'rec':>6s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for r in results:
+        print(f"{r.point.scenario:24s} {r.point.system.value:13s} "
+              f"{r.point.epoch_size_ns:>9d} {r.point.threshold:>5.1f} "
+              f"{r.accuracy.precision:>6.2f} {r.accuracy.recall:>6.2f}")
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            rows = write_csv(results, fh)
+        print(f"\n{rows} rows written to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

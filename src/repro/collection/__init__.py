@@ -1,0 +1,42 @@
+"""Anomaly detection, polling-based causality tracing and collection (§3.4)."""
+
+from .agent import AgentConfig, DetectionAgent, TriggerEvent
+from .probes import ProbeMesh, ProbeMeshConfig
+from .collector import (
+    MTU_BYTES,
+    PHV_REPORT_BYTES,
+    CollectionStats,
+    TelemetryCollector,
+)
+from .polling import PollingConfig, PollingEngine
+
+__all__ = [
+    "AgentConfig",
+    "DetectionAgent",
+    "TriggerEvent",
+    "MTU_BYTES",
+    "PHV_REPORT_BYTES",
+    "CollectionStats",
+    "TelemetryCollector",
+    "PollingConfig",
+    "ProbeMesh",
+    "ProbeMeshConfig",
+    "PollingEngine",
+]
+
+
+def deploy_hawkeye(network, telemetry_config=None, agent_config=None, polling_config=None):
+    """Wire the full Hawkeye stack onto a network in one call.
+
+    Returns ``(deployment, agent, engine, collector)`` — the telemetry
+    deployment, the host detection agent, the polling engine, and the
+    telemetry collector, already connected to each other.
+    """
+    from ..telemetry.hawkeye import HawkeyeDeployment
+
+    deployment = HawkeyeDeployment(network, telemetry_config)
+    collector = TelemetryCollector(deployment)
+    engine = PollingEngine(network, deployment, polling_config)
+    engine.add_mirror_listener(collector.on_polling_mirror)
+    agent = DetectionAgent(network, agent_config)
+    return deployment, agent, engine, collector

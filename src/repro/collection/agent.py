@@ -1,0 +1,111 @@
+"""Host-based anomaly detection agent (§3.4).
+
+The paper's agent runs on a BlueField-3 DPU and watches per-flow RTT via
+DOCA PCC; ours subscribes to the simulated hosts' RTT samples.  When a
+flow's RTT exceeds ``threshold_multiplier`` times its unloaded base RTT the
+agent injects a polling packet (victim 5-tuple, flag 01) from the source
+host, which starts telemetry collection and diagnosis.
+
+Host-side triggering deliberately avoids switch-side triggering: one
+polling packet per victim covers the whole PFC causality without the
+duplicated tracing that switch detection would start at every hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim.flow import Flow
+from ..sim.network import Network
+from ..sim.packet import FlowKey, PollingFlag
+from ..units import msec, usec
+
+
+@dataclass
+class TriggerEvent:
+    """One diagnosis trigger raised by the agent."""
+
+    victim: FlowKey
+    time_ns: int
+    rtt_ns: int
+    base_rtt_ns: int
+
+
+@dataclass
+class AgentConfig:
+    # Detection threshold, normalized to the flow's base RTT (the paper
+    # sweeps 200%..500%, i.e. multipliers 2.0..5.0).
+    threshold_multiplier: float = 3.0
+    # Suppress re-triggering for the same victim within this interval.
+    cooldown_ns: int = msec(1)
+    # A flow with sent-but-unacked data and no ACK progress for this long is
+    # stalled (deadlocked flows stop producing RTT samples entirely).  At
+    # 100 Gbps, 200 us of ACK silence with data outstanding is many tens of
+    # base RTTs — unambiguously a frozen path.
+    stall_timeout_ns: int = usec(200)
+    stall_check_interval_ns: int = usec(50)
+
+
+class DetectionAgent:
+    """Monitors every host's flows and fires polling packets on degradation."""
+
+    def __init__(self, network: Network, config: Optional[AgentConfig] = None) -> None:
+        self.network = network
+        self.config = config if config is not None else AgentConfig()
+        self.triggers: List[TriggerEvent] = []
+        self._base_rtt: Dict[FlowKey, int] = {}
+        self._last_trigger: Dict[FlowKey, int] = {}
+        self._listeners: List[Callable[[TriggerEvent], None]] = []
+        self._progress: Dict[FlowKey, tuple] = {}
+        for host in network.hosts.values():
+            host.rtt_listeners.append(self._on_rtt)
+        network.sim.schedule(self.config.stall_check_interval_ns, self._stall_check)
+
+    def add_trigger_listener(self, fn: Callable[[TriggerEvent], None]) -> None:
+        self._listeners.append(fn)
+
+    def base_rtt(self, flow: Flow) -> int:
+        cached = self._base_rtt.get(flow.key)
+        if cached is None:
+            cached = self.network.estimate_base_rtt(
+                flow.src_host, flow.key.dst_ip, flow.key
+            )
+            self._base_rtt[flow.key] = cached
+        return cached
+
+    def _on_rtt(self, flow: Flow, now: int, rtt_ns: int) -> None:
+        base = self.base_rtt(flow)
+        if rtt_ns <= self.config.threshold_multiplier * base:
+            return
+        self._trigger(flow, now, rtt_ns, base)
+
+    def _trigger(self, flow: Flow, now: int, rtt_ns: int, base: int) -> None:
+        last = self._last_trigger.get(flow.key)
+        if last is not None and now - last < self.config.cooldown_ns:
+            return
+        self._last_trigger[flow.key] = now
+        event = TriggerEvent(victim=flow.key, time_ns=now, rtt_ns=rtt_ns, base_rtt_ns=base)
+        self.triggers.append(event)
+        self.network.hosts[flow.src_host].inject_polling(
+            flow.key, PollingFlag.VICTIM_PATH
+        )
+        for fn in self._listeners:
+            fn(event)
+
+    def _stall_check(self) -> None:
+        """Detect fully blocked flows (deadlocks produce no ACKs at all)."""
+        now = self.network.sim.now
+        for flow in self.network.flows:
+            if flow.completed or flow.start_time > now or flow.bytes_sent == 0:
+                continue
+            if flow.bytes_sent <= flow.bytes_acked:
+                continue  # nothing outstanding
+            acked, since = self._progress.get(flow.key, (-1, now))
+            if flow.bytes_acked != acked:
+                self._progress[flow.key] = (flow.bytes_acked, now)
+                continue
+            if now - since >= self.config.stall_timeout_ns:
+                # Report the stall duration as the observed "RTT".
+                self._trigger(flow, now, now - since, self.base_rtt(flow))
+        self.network.sim.schedule(self.config.stall_check_interval_ns, self._stall_check)

@@ -1,0 +1,142 @@
+"""Controller-assisted telemetry collection (§3.4).
+
+When a polling packet is mirrored to a switch CPU, the controller reads the
+telemetry registers (REGISTER_SYNC DMA on Tofino), filters out empty slots,
+batches the survivors into MTU-sized report packets and ships them to the
+analyzer.  A per-switch dedup interval prevents repeated collection when
+several victims' polling packets cross the same switch (e.g., the four
+flows of a deadlock loop).
+
+We snapshot the registers at mirror time — the DMA happens within the same
+epoch window in practice — and model the CPU poll latency analytically in
+:mod:`repro.experiments.hardware` for the §4.5 timing numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.packet import Packet
+from ..telemetry.hawkeye import HawkeyeDeployment
+from ..telemetry.snapshot import SwitchReport
+from ..units import usec
+
+MTU_BYTES = 1500
+# Usable PHV budget for data-plane packet generation (the alternative the
+# CPU poller is compared against in Fig 14(b)).
+PHV_REPORT_BYTES = 192
+
+
+@dataclass
+class CollectionStats:
+    """Accounting for Fig 9a / Fig 14."""
+
+    collections: int = 0
+    mirrored_packets: int = 0
+    suppressed_collections: int = 0
+    filtered_bytes: int = 0
+    full_dump_bytes: int = 0
+    report_packets_cpu: int = 0
+    report_packets_dataplane: int = 0
+
+
+class TelemetryCollector:
+    """Gathers :class:`SwitchReport` objects in response to polling mirrors."""
+
+    def __init__(
+        self,
+        deployment: HawkeyeDeployment,
+        lookback_epochs: Optional[int] = None,
+        dedup_interval_ns: int = usec(100),
+        read_delay_ns: Optional[int] = None,
+    ) -> None:
+        """``read_delay_ns`` models the gap between the polling packet's CPU
+        mirror and the actual register DMA read (tens of ms on Tofino; here
+        defaulted to a quarter of the epoch-ring window so the read still
+        lands inside the history the ring retains)."""
+        self.deployment = deployment
+        self.lookback_epochs = lookback_epochs
+        self.dedup_interval_ns = dedup_interval_ns
+        if read_delay_ns is None:
+            window = deployment.config.scheme.window_ns
+            read_delay_ns = min(usec(300), window // 4)
+        self.read_delay_ns = read_delay_ns
+        self.reports: List[SwitchReport] = []
+        self.stats = CollectionStats()
+        self._last_collect: Dict[str, int] = {}
+        self._pending: Dict[str, int] = {}
+
+    def on_polling_mirror(self, switch_name: str, pkt: Packet, now: int) -> None:
+        """CPU-mirror notification: maybe start an asynchronous register read."""
+        self.stats.mirrored_packets += 1
+        last = self._last_collect.get(switch_name)
+        if last is not None and now - last < self.dedup_interval_ns:
+            self.stats.suppressed_collections += 1
+            return
+        self._last_collect[switch_name] = now
+        if self.read_delay_ns <= 0:
+            self.collect(switch_name, now)
+            return
+        self._pending[switch_name] = self._pending.get(switch_name, 0) + 1
+        sim = self.deployment.network.sim
+        sim.schedule(self.read_delay_ns, lambda: self._delayed_read(switch_name))
+
+    def _delayed_read(self, switch_name: str) -> None:
+        if self._pending.get(switch_name, 0) <= 0:
+            return
+        self._pending[switch_name] -= 1
+        self.collect(switch_name, self.deployment.network.sim.now)
+
+    def flush_pending(self, now: int) -> None:
+        """Force any scheduled-but-unread register reads (end of a run)."""
+        for switch_name, count in list(self._pending.items()):
+            if count > 0:
+                self._pending[switch_name] = 0
+                self.collect(switch_name, now)
+
+    def collect(self, switch_name: str, now: int) -> SwitchReport:
+        """Read one switch's registers into a report (CPU-filtered)."""
+        telem = self.deployment.for_switch(switch_name)
+        report = telem.snapshot(now, self.lookback_epochs)
+        self.reports.append(report)
+        self._account(report, telem)
+        return report
+
+    def _account(self, report: SwitchReport, telem) -> None:
+        filtered = report.payload_bytes()
+        num_ports = max(len(report.port_status), 1)
+        full = SwitchReport.full_dump_bytes(
+            flow_slots=telem.config.flow_slots,
+            num_ports=num_ports,
+            num_epochs=len(report.epochs) or 1,
+        )
+        self.stats.collections += 1
+        self.stats.filtered_bytes += filtered
+        self.stats.full_dump_bytes += full
+        self.stats.report_packets_cpu += max(1, -(-filtered // MTU_BYTES))
+        self.stats.report_packets_dataplane += max(1, -(-full // PHV_REPORT_BYTES))
+
+    def collect_all(self, now: int) -> None:
+        """Full-polling baseline: read every deployed switch (dedup applies)."""
+        for switch_name in self.deployment.telemetry:
+            last = self._last_collect.get(switch_name)
+            if last is not None and now - last < self.dedup_interval_ns:
+                self.stats.suppressed_collections += 1
+                continue
+            self._last_collect[switch_name] = now
+            self.collect(switch_name, now)
+
+    # -- analyzer-side access ----------------------------------------------------
+
+    def reports_by_switch(self) -> Dict[str, SwitchReport]:
+        """Latest report per switch (what the analyzer diagnoses from)."""
+        out: Dict[str, SwitchReport] = {}
+        for report in self.reports:
+            existing = out.get(report.switch)
+            if existing is None or report.collect_time > existing.collect_time:
+                out[report.switch] = report
+        return out
+
+    def collected_switches(self) -> List[str]:
+        return sorted({r.switch for r in self.reports})

@@ -1,0 +1,156 @@
+"""In-data-plane PFC causality analysis and polling-packet forwarding (§3.4).
+
+A :class:`PollingEngine` installs a polling handler on every Hawkeye switch.
+When a polling packet arrives the switch (at "line rate", i.e. inside the
+simulated data plane):
+
+1. mirrors the packet to its CPU, which starts asynchronous telemetry
+   collection (see :mod:`repro.collection.collector`);
+2. if the flag traces the *victim path* (01/11), unicasts the packet out
+   of the victim flow's egress port, upgrading the flag to 11 when the
+   victim was PFC-paused at that port — so the downstream switch also
+   analyzes PFC causality;
+3. if the flag traces *PFC causality* (10/11), consults the Figure-3
+   causality structure: every egress port fed by the arrival ingress port
+   (``meter > 0``) that is itself PFC-paused propagates the trace; ports
+   whose paused packets are zero terminate the trace (the congestion is
+   local flow contention), and host-facing paused ports terminate it too
+   (host PFC injection).
+
+Per-switch dedup on (victim, flag, ingress) bounds the trace and ends the
+walk around deadlock loops after one full cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.network import Network
+from ..sim.packet import Packet, PollingFlag
+from ..sim.switch import Switch
+from ..telemetry.hawkeye import HawkeyeDeployment
+from ..units import msec
+
+
+@dataclass
+class PollingConfig:
+    # Epochs of telemetry consulted by the line-rate checks.
+    lookback_epochs: Optional[int] = None  # None = whole ring
+    # Dedup interval for polling packets (per switch, per victim).
+    dedup_interval_ns: int = msec(2)
+    # Disable flag upgrade (victim-only baseline: never trace PFC causality).
+    trace_pfc: bool = True
+    # Ablation: ITSY-style 1-bit traffic presence instead of the Figure-3
+    # port-pair meters — the causality multicast then forwards to *every*
+    # paused egress port, collecting causally irrelevant switches.
+    use_meters: bool = True
+
+
+class PollingEngine:
+    """Installs and implements the per-switch polling logic."""
+
+    def __init__(
+        self,
+        network: Network,
+        deployment: HawkeyeDeployment,
+        config: Optional[PollingConfig] = None,
+    ) -> None:
+        self.network = network
+        self.deployment = deployment
+        self.config = config if config is not None else PollingConfig()
+        # (switch, victim, flag_bit, ingress) -> last handled time
+        self._seen: Dict[Tuple, int] = {}
+        # victim -> switches its polling packets visited (causal trace set)
+        self._victim_switches: Dict = {}
+        self._mirror_listeners: List = []
+        self.polling_packets_forwarded = 0
+        self.polling_packets_dropped = 0
+        for name in deployment.telemetry:
+            network.switches[name].polling_handler = self._handle
+
+    def add_mirror_listener(self, fn) -> None:
+        """``fn(switch_name, pkt, now)`` is the CPU-mirror notification."""
+        self._mirror_listeners.append(fn)
+
+    def switches_traced_for(self, victim) -> set:
+        """Switches a victim's polling packets visited — its causal trace."""
+        return set(self._victim_switches.get(victim, ()))
+
+    # -- the data-plane logic ---------------------------------------------------
+
+    def _handle(self, switch: Switch, pkt: Packet, ingress_port: int) -> List[Tuple[int, PollingFlag]]:
+        assert pkt.flow is not None
+        now = switch.sim.now
+        victim = pkt.flow
+        flag: PollingFlag = pkt.polling_flag
+        telem = self.deployment.for_switch(switch.name)
+        lookback = self.config.lookback_epochs
+
+        # CPU mirror: every polling packet notifies the controller
+        # (collection-side dedup lives in the collector).
+        self._victim_switches.setdefault(victim, set()).add(switch.name)
+        for fn in self._mirror_listeners:
+            fn(switch.name, pkt, now)
+
+        outputs: List[Tuple[int, PollingFlag]] = []
+
+        if flag.traces_victim_path:
+            if not self._dropped(switch.name, victim, "victim", None, now):
+                egress = self.network.routing.select_port(
+                    switch.name, victim.dst_ip, victim
+                )
+                out_flag = PollingFlag.VICTIM_PATH
+                if self.config.trace_pfc and telem.flow_paused_num(victim, now, lookback) > 0:
+                    # Victim is PFC-paused here: the downstream switch (from
+                    # which the PAUSE frames came) must analyze causality.
+                    out_flag = PollingFlag.BOTH
+                if not switch.ports[egress].peer_is_host:
+                    outputs.append((egress, out_flag))
+                # Destination ToR reached: victim-path tracing terminates.
+
+        if flag.traces_pfc:
+            if not self._dropped(switch.name, victim, "pfc", ingress_port, now):
+                outputs.extend(
+                    self._causality_multicast(switch, telem, victim, ingress_port, now)
+                )
+
+        self.polling_packets_forwarded += len(outputs)
+        return outputs
+
+    def _causality_multicast(
+        self, switch: Switch, telem, victim, ingress_port: int, now: int
+    ) -> List[Tuple[int, PollingFlag]]:
+        """Figure 6: multicast to the causally relevant egress ports only."""
+        lookback = self.config.lookback_epochs
+        outputs: List[Tuple[int, PollingFlag]] = []
+        for port_no, port in switch.ports.items():
+            if self.config.use_meters:
+                volume = telem.meter_volume(ingress_port, port_no, now, lookback)
+                if volume <= 0:
+                    continue  # this egress does not feed the complaining ingress
+            paused = (
+                telem.port_paused_num(port_no, now, lookback) > 0
+                or telem.port_is_paused(port_no, now)
+                or telem.port_pause_rx(port_no, now, lookback) > 0
+            )
+            if not paused:
+                # Neither paused packets nor an asserted PFC status: the
+                # buildup here is local flow contention — the initial
+                # congestion point.  The trace ends; this switch's telemetry
+                # (already being collected) covers it.
+                continue
+            if port.peer_is_host:
+                # Paused by a host: PFC injection — terminal as well.
+                continue
+            outputs.append((port_no, PollingFlag.PFC_CAUSALITY))
+        return outputs
+
+    def _dropped(self, switch_name: str, victim, kind: str, ingress, now: int) -> bool:
+        key = (switch_name, victim, kind, ingress)
+        last = self._seen.get(key)
+        if last is not None and now - last < self.config.dedup_interval_ns:
+            self.polling_packets_dropped += 1
+            return True
+        self._seen[key] = now
+        return False

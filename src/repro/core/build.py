@@ -1,0 +1,206 @@
+"""Provenance graph construction (Algorithm 1).
+
+Input: the telemetry reports collected from the causally relevant switches
+(plus the topology, to map a congested egress port to the downstream
+switch's ingress).  Output: the heterogeneous wait-for graph of §3.5.1.
+
+Edge construction, per the paper:
+
+- **Port-level** — for each PFC-paused egress port ``p_i`` and each egress
+  port ``p_j`` of the downstream switch fed by ``p_i``'s traffic
+  (``meter[p_i][p_j] > 0``):
+  ``w_ij = paused_num[p_i] * meter[p_i][p_j] / sum_k meter[p_i][p_k] * qdepth[p_j]``
+- **Flow-port** — ``f_i -> p_j`` weighted by ``paused_num(f_i, p_j)``.
+- **Port-flow** — ``p_i -> f_j`` weighted by the replayed contention
+  contribution (see :mod:`repro.core.replay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..sim.packet import FlowKey
+from ..telemetry.snapshot import SwitchReport
+from ..topology.graph import PortRef, Topology
+from .graph import EdgeKind, ProvenanceGraph
+from .replay import contribution
+
+_EPS = 1e-9
+
+
+@dataclass
+class PortMeta:
+    """Per-port aggregates kept alongside the graph for diagnosis."""
+
+    paused_num: int = 0
+    pkt_num: int = 0
+    avg_qdepth_pkts: float = 0.0
+    # Queue depth seen by the port's non-paused enqueues (computed from the
+    # flow entries): the depth that reflects local contention rather than
+    # PFC buildup.
+    avg_unpaused_qdepth_pkts: float = 0.0
+    peer: Optional[PortRef] = None
+    peer_is_host: bool = False
+    # The Figure-3 port status register: was the port paused at collection?
+    # A port can be paused yet record zero paused *packets* when its own
+    # upstream is also paused (nothing enqueues during the pause windows);
+    # the status register keeps the causality chain intact in that case.
+    status_paused: bool = False
+    # PAUSE frames received during the reported epochs (the standard
+    # per-port PFC counter): evidence of *transient* pauses that expired
+    # before collection without any enqueue observing them.
+    pause_rx_count: int = 0
+
+    @property
+    def is_pfc_paused(self) -> bool:
+        return self.paused_num > 0 or self.status_paused or self.pause_rx_count > 0
+
+    @property
+    def effective_paused_num(self) -> int:
+        """Paused-packet count with a floor of 1 for pause-evidenced ports."""
+        if self.paused_num > 0:
+            return self.paused_num
+        return 1 if (self.status_paused or self.pause_rx_count > 0) else 0
+
+
+@dataclass
+class FlowPortMeta:
+    """Per-(flow, port) aggregates for burst/throughput analysis."""
+
+    pkt_count: int = 0
+    byte_count: int = 0
+    paused_count: int = 0
+
+
+@dataclass
+class AnnotatedGraph:
+    """A provenance graph plus the telemetry aggregates diagnosis consults."""
+
+    graph: ProvenanceGraph
+    port_meta: Dict[PortRef, PortMeta] = field(default_factory=dict)
+    flow_port_meta: Dict[Tuple[FlowKey, PortRef], FlowPortMeta] = field(default_factory=dict)
+    window_ns: int = 0
+
+
+def build_provenance(
+    reports: Mapping[str, SwitchReport],
+    topology: Topology,
+    window_ns: int,
+    victim: Optional[FlowKey] = None,
+    exclude_paused: bool = True,
+    epoch_size_ns: Optional[int] = None,
+) -> AnnotatedGraph:
+    """Run Algorithm 1 over the collected telemetry.
+
+    ``epoch_size_ns`` is the replay period T of Algorithm 1 (defaults to
+    ``window_ns`` when the reports are single-epoch aggregates).
+    """
+    graph = ProvenanceGraph()
+    annotated = AnnotatedGraph(graph=graph, window_ns=window_ns)
+
+    agg_ports = {name: r.agg_ports() for name, r in reports.items()}
+    agg_meters = {name: r.agg_meters() for name, r in reports.items()}
+    agg_flows = {name: r.agg_flows() for name, r in reports.items()}
+
+    # Port vertices + metadata.
+    for name, ports in agg_ports.items():
+        for port_no, entry in ports.items():
+            ref = PortRef(name, port_no)
+            graph.add_port(ref)
+            peer = None
+            peer_is_host = False
+            if topology.has_link_at(ref):
+                peer = topology.peer_port(ref)
+                peer_is_host = topology.node(peer.node).is_host
+            annotated.port_meta[ref] = PortMeta(
+                paused_num=entry.paused_count,
+                pkt_num=entry.pkt_count,
+                avg_qdepth_pkts=entry.avg_qdepth_pkts(),
+                peer=peer,
+                peer_is_host=peer_is_host,
+                status_paused=reports[name].port_status.get(port_no, 0) > 0,
+                pause_rx_count=entry.pause_rx_count,
+            )
+
+    # Port-level provenance (PFC spreading causality).
+    for name, ports in agg_ports.items():
+        for port_no, entry in ports.items():
+            p_i = PortRef(name, port_no)
+            meta = annotated.port_meta[p_i]
+            if not meta.is_pfc_paused:
+                continue
+            if meta.peer is None or meta.peer_is_host:
+                continue  # pause came from a host: no downstream switch
+            down_switch = meta.peer.node
+            ingress_on_down = meta.peer.port
+            meters = agg_meters.get(down_switch)
+            down_ports = agg_ports.get(down_switch)
+            if meters is None or down_ports is None:
+                continue  # downstream telemetry not collected
+            relevant = {
+                pair[1]: vol
+                for pair, vol in meters.items()
+                if pair[0] == ingress_on_down and vol > 0
+            }
+            total = sum(relevant.values())
+            if total <= 0:
+                continue
+            for egress_no, vol in relevant.items():
+                down_entry = down_ports.get(egress_no)
+                if down_entry is None:
+                    continue
+                qdepth = down_entry.avg_qdepth_pkts()
+                weight = meta.effective_paused_num * (vol / total) * qdepth
+                if weight > _EPS:
+                    graph.add_edge(
+                        p_i, PortRef(down_switch, egress_no), EdgeKind.PORT_PORT, weight
+                    )
+
+    # Flow vertices, flow-port edges, metadata.
+    unpaused_depth_sums: Dict[PortRef, list] = {}
+    for name, flows in agg_flows.items():
+        for (key, egress_no), entry in flows.items():
+            ref = PortRef(name, egress_no)
+            graph.add_flow(key)
+            annotated.flow_port_meta[(key, ref)] = FlowPortMeta(
+                pkt_count=entry.pkt_count,
+                byte_count=entry.byte_count,
+                paused_count=entry.paused_count,
+            )
+            sums = unpaused_depth_sums.setdefault(ref, [0, 0])
+            sums[0] += entry.qdepth_sum_pkts - entry.qdepth_paused_sum_pkts
+            sums[1] += entry.unpaused_count
+            if entry.paused_count > 0:
+                graph.add_edge(key, ref, EdgeKind.FLOW_PORT, float(entry.paused_count))
+    for ref, (depth_sum, count) in unpaused_depth_sums.items():
+        meta = annotated.port_meta.get(ref)
+        if meta is not None and count > 0:
+            meta.avg_unpaused_qdepth_pkts = depth_sum / count
+
+    if victim is not None:
+        graph.add_flow(victim)
+
+    # Port-flow provenance via queue replay.  Replay runs per epoch with
+    # T = epoch size (Algorithm 1's ReplayQueue) — replaying the aggregate
+    # window would smear short bursts across quiet epochs and misattribute
+    # contention; per-epoch contributions are then summed.
+    replay_t = epoch_size_ns if epoch_size_ns is not None else max(window_ns, 1)
+    for name, report in reports.items():
+        totals: Dict[Tuple[int, FlowKey], float] = {}
+        for epoch in report.epochs:
+            by_port: Dict[int, list] = {}
+            for (key, egress_no), entry in epoch.flows.items():
+                by_port.setdefault(egress_no, []).append(entry)
+            for egress_no, entries in by_port.items():
+                contrib = contribution(
+                    entries, replay_t, exclude_paused=exclude_paused
+                )
+                for key, weight in contrib.items():
+                    slot = (egress_no, key)
+                    totals[slot] = totals.get(slot, 0.0) + weight
+        for (egress_no, key), weight in totals.items():
+            if abs(weight) > _EPS:
+                graph.add_edge(PortRef(name, egress_no), key, EdgeKind.PORT_FLOW, weight)
+
+    return annotated

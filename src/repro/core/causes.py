@@ -1,0 +1,173 @@
+"""Contention-cause sub-analysis (Algorithm 2, lines 8-11).
+
+Once Algorithm 2 attributes an anomaly to flow contention at an initial
+port, the operator still wants to know *what kind* of contention: the
+paper's procedure checks each contributing flow's throughput and priority
+and the port's ECMP imbalance ratio.  This module implements those checks
+on top of the annotated provenance graph:
+
+- ``classify_contention`` labels the contention as synchronized incast
+  micro-bursts (several contributors sharing one destination), a single
+  elephant flow (one dominant contributor), or mixed;
+- ``ecmp_imbalance_ratio`` compares the load on the initial port against
+  its ECMP siblings (ports of the same switch leading toward the same
+  next tier) — a high ratio points at load-balancing trouble rather than
+  application behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.packet import FlowKey
+from ..topology.graph import PortRef, Topology
+from .build import AnnotatedGraph
+from .report import Finding
+
+
+class ContentionKind(enum.Enum):
+    INCAST_BURSTS = "incast-micro-bursts"
+    ELEPHANT_FLOW = "single-elephant-flow"
+    MIXED = "mixed-contention"
+    NONE = "no-contention"
+
+
+@dataclass
+class FlowProfile:
+    """Per-culprit traffic profile at the initial port."""
+
+    key: FlowKey
+    byte_count: int
+    pkt_count: int
+    rate_bytes_per_sec: float
+    traffic_share: float
+
+
+@dataclass
+class ContentionAnalysis:
+    """The operator-facing breakdown of a contention root cause."""
+
+    kind: ContentionKind
+    profiles: List[FlowProfile] = field(default_factory=list)
+    shared_destination: Optional[str] = None
+    ecmp_imbalance: Optional[float] = None
+
+    def describe(self) -> str:
+        parts = [f"contention kind: {self.kind.value}"]
+        if self.shared_destination:
+            parts.append(f"converging on {self.shared_destination}")
+        if self.ecmp_imbalance is not None:
+            parts.append(f"ECMP imbalance ratio {self.ecmp_imbalance:.2f}")
+        for p in self.profiles[:4]:
+            parts.append(
+                f"{p.key}: {p.rate_bytes_per_sec * 8 / 1e9:.2f} Gbps "
+                f"({p.traffic_share:.0%} of port)"
+            )
+        return "; ".join(parts)
+
+
+# A single flow is an "elephant" when it alone carries this much of the
+# port's traffic over the window.
+ELEPHANT_SHARE = 0.5
+# An incast needs at least this many synchronized contributors.
+INCAST_MIN_FLOWS = 3
+
+
+def flow_profiles(
+    annotated: AnnotatedGraph, port: PortRef, culprits: List[FlowKey]
+) -> List[FlowProfile]:
+    """Throughput/share profile for each culprit at ``port``."""
+    window = max(annotated.window_ns, 1)
+    total_bytes = sum(
+        m.byte_count for (f, p), m in annotated.flow_port_meta.items() if p == port
+    )
+    profiles = []
+    for key in culprits:
+        meta = annotated.flow_port_meta.get((key, port))
+        if meta is None:
+            continue
+        profiles.append(
+            FlowProfile(
+                key=key,
+                byte_count=meta.byte_count,
+                pkt_count=meta.pkt_count,
+                rate_bytes_per_sec=meta.byte_count * 1e9 / window,
+                traffic_share=(meta.byte_count / total_bytes) if total_bytes else 0.0,
+            )
+        )
+    profiles.sort(key=lambda p: -p.byte_count)
+    return profiles
+
+
+def ecmp_imbalance_ratio(
+    annotated: AnnotatedGraph, port: PortRef, topology: Topology
+) -> Optional[float]:
+    """Load on ``port`` vs the mean load of its ECMP sibling ports.
+
+    Siblings are the other egress ports of the same switch whose peers are
+    switches of the same tier (same name prefix pattern); host-facing ports
+    have no ECMP siblings.  Returns ``None`` when no sibling carries data.
+    """
+    meta = annotated.port_meta.get(port)
+    if meta is None or meta.peer is None or meta.peer_is_host:
+        return None
+    sibling_loads: List[int] = []
+    port_load = 0
+    for ref, m in annotated.port_meta.items():
+        if ref.node != port.node or m.peer is None or m.peer_is_host:
+            continue
+        load = sum(
+            fm.byte_count
+            for (f, p), fm in annotated.flow_port_meta.items()
+            if p == ref
+        )
+        if ref == port:
+            port_load = load
+        else:
+            sibling_loads.append(load)
+    if not sibling_loads:
+        return None
+    mean_sibling = sum(sibling_loads) / len(sibling_loads)
+    if mean_sibling <= 0:
+        return None
+    return port_load / mean_sibling
+
+
+def classify_contention(
+    annotated: AnnotatedGraph,
+    finding: Finding,
+    topology: Optional[Topology] = None,
+) -> ContentionAnalysis:
+    """Run the Algorithm-2 line 8-11 checks for one contention finding."""
+    port = finding.initial_port
+    culprits = finding.culprit_keys()
+    if port is None or not culprits:
+        return ContentionAnalysis(kind=ContentionKind.NONE)
+
+    profiles = flow_profiles(annotated, port, culprits)
+    imbalance = (
+        ecmp_imbalance_ratio(annotated, port, topology)
+        if topology is not None
+        else None
+    )
+
+    destinations = {p.key.dst_ip for p in profiles}
+    shared = destinations.pop() if len(destinations) == 1 else None
+
+    if profiles and profiles[0].traffic_share >= ELEPHANT_SHARE:
+        kind = ContentionKind.ELEPHANT_FLOW
+    elif len(profiles) >= INCAST_MIN_FLOWS and shared is not None:
+        kind = ContentionKind.INCAST_BURSTS
+    elif profiles:
+        kind = ContentionKind.MIXED
+    else:
+        kind = ContentionKind.NONE
+
+    return ContentionAnalysis(
+        kind=kind,
+        profiles=profiles,
+        shared_destination=shared,
+        ecmp_imbalance=imbalance,
+    )

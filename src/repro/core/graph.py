@@ -1,0 +1,162 @@
+"""The heterogeneous wait-for provenance graph (§3.5.1).
+
+Nodes are either *ports* (global :class:`~repro.topology.graph.PortRef`)
+or *flows* (:class:`~repro.sim.packet.FlowKey`).  Three typed, weighted,
+directed edge kinds encode congestion causality:
+
+- ``PORT_PORT``: a PFC-paused egress port waits for downstream egress
+  ports to drain (the PFC spreading causality);
+- ``FLOW_PORT``: a flow waits for a port that PFC-paused it (weight =
+  paused packet count);
+- ``PORT_FLOW``: a congested port waits for the flows occupying its
+  queue (weight = the flow's net contention contribution; positive for
+  contributors, negative for victims).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..sim.packet import FlowKey
+from ..topology.graph import PortRef
+
+NodeId = Union[PortRef, FlowKey]
+
+
+class EdgeKind(enum.Enum):
+    PORT_PORT = "port-port"
+    FLOW_PORT = "flow-port"
+    PORT_FLOW = "port-flow"
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: NodeId
+    dst: NodeId
+    kind: EdgeKind
+    weight: float
+
+
+class ProvenanceGraph:
+    """Typed directed multigraph over port and flow nodes."""
+
+    def __init__(self) -> None:
+        self.ports: Set[PortRef] = set()
+        self.flows: Set[FlowKey] = set()
+        self._out: Dict[NodeId, List[Edge]] = {}
+        self._in: Dict[NodeId, List[Edge]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_port(self, port: PortRef) -> None:
+        self.ports.add(port)
+        self._out.setdefault(port, [])
+        self._in.setdefault(port, [])
+
+    def add_flow(self, flow: FlowKey) -> None:
+        self.flows.add(flow)
+        self._out.setdefault(flow, [])
+        self._in.setdefault(flow, [])
+
+    def add_edge(self, src: NodeId, dst: NodeId, kind: EdgeKind, weight: float) -> Edge:
+        if isinstance(src, PortRef):
+            self.add_port(src)
+        else:
+            self.add_flow(src)
+        if isinstance(dst, PortRef):
+            self.add_port(dst)
+        else:
+            self.add_flow(dst)
+        edge = Edge(src=src, dst=dst, kind=kind, weight=weight)
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------------
+
+    def out_edges(self, node: NodeId, kind: Optional[EdgeKind] = None) -> List[Edge]:
+        edges = self._out.get(node, [])
+        if kind is None:
+            return list(edges)
+        return [e for e in edges if e.kind is kind]
+
+    def in_edges(self, node: NodeId, kind: Optional[EdgeKind] = None) -> List[Edge]:
+        edges = self._in.get(node, [])
+        if kind is None:
+            return list(edges)
+        return [e for e in edges if e.kind is kind]
+
+    def edges(self, kind: Optional[EdgeKind] = None) -> Iterable[Edge]:
+        for edges in self._out.values():
+            for e in edges:
+                if kind is None or e.kind is kind:
+                    yield e
+
+    def weight(self, src: NodeId, dst: NodeId) -> Optional[float]:
+        for e in self._out.get(src, []):
+            if e.dst == dst:
+                return e.weight
+        return None
+
+    def port_out_degree(self, port: PortRef) -> int:
+        """Out-degree restricted to port-level edges (Table 2's out-deg_P)."""
+        return len(self.out_edges(port, EdgeKind.PORT_PORT))
+
+    def port_successors(self, port: PortRef) -> List[PortRef]:
+        return [e.dst for e in self.out_edges(port, EdgeKind.PORT_PORT)]  # type: ignore[misc]
+
+    def flow_port_weight(self, flow: FlowKey, port: PortRef) -> float:
+        w = self.weight(flow, port)
+        return w if w is not None else 0.0
+
+    def port_flow_weights(self, port: PortRef) -> Dict[FlowKey, float]:
+        return {
+            e.dst: e.weight  # type: ignore[dict-item]
+            for e in self.out_edges(port, EdgeKind.PORT_FLOW)
+        }
+
+    def ports_pausing_flow(self, flow: FlowKey) -> List[Tuple[PortRef, float]]:
+        """Ports that PFC-paused this flow, with paused-packet weights."""
+        return [
+            (e.dst, e.weight)  # type: ignore[list-item]
+            for e in self.out_edges(flow, EdgeKind.FLOW_PORT)
+        ]
+
+    def has_port_level_edges(self) -> bool:
+        return any(True for _ in self.edges(EdgeKind.PORT_PORT))
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz rendering for case studies (Figure 12 analog)."""
+        lines = ["digraph provenance {", "  rankdir=LR;"]
+        for port in sorted(self.ports):
+            lines.append(f'  "{port}" [shape=box];')
+        for flow in sorted(self.flows):
+            lines.append(f'  "{flow}" [shape=ellipse];')
+        styles = {
+            EdgeKind.PORT_PORT: "solid",
+            EdgeKind.FLOW_PORT: "dashed",
+            EdgeKind.PORT_FLOW: "dotted",
+        }
+        for e in self.edges():
+            color = "red" if e.kind is EdgeKind.PORT_FLOW and e.weight > 0 else "black"
+            lines.append(
+                f'  "{e.src}" -> "{e.dst}" '
+                f'[style={styles[e.kind]}, color={color}, label="{e.weight:.1f}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        counts = {kind: 0 for kind in EdgeKind}
+        for e in self.edges():
+            counts[e.kind] += 1
+        return (
+            f"ProvenanceGraph(ports={len(self.ports)}, flows={len(self.flows)}, "
+            f"port-port={counts[EdgeKind.PORT_PORT]}, "
+            f"flow-port={counts[EdgeKind.FLOW_PORT]}, "
+            f"port-flow={counts[EdgeKind.PORT_FLOW]})"
+        )

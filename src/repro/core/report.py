@@ -1,0 +1,125 @@
+"""Diagnosis result types: what Hawkeye reports to the operator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.packet import FlowKey
+from ..topology.graph import PortRef
+
+
+class AnomalyType(enum.Enum):
+    """The representative RDMA NPA classes of Table 2."""
+
+    MICRO_BURST_INCAST = "pfc-backpressure-flow-contention"
+    PFC_STORM = "pfc-storm"
+    IN_LOOP_DEADLOCK = "in-loop-deadlock"
+    OUT_OF_LOOP_DEADLOCK_CONTENTION = "out-of-loop-deadlock-contention"
+    OUT_OF_LOOP_DEADLOCK_INJECTION = "out-of-loop-deadlock-injection"
+    NORMAL_CONTENTION = "normal-flow-contention"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_deadlock(self) -> bool:
+        return self in (
+            AnomalyType.IN_LOOP_DEADLOCK,
+            AnomalyType.OUT_OF_LOOP_DEADLOCK_CONTENTION,
+            AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION,
+        )
+
+
+class RootCauseKind(enum.Enum):
+    FLOW_CONTENTION = "flow-contention"
+    HOST_PFC_INJECTION = "host-pfc-injection"
+    UNDETERMINED = "undetermined"
+
+
+# Severity order used to pick the primary finding when several match.
+_SEVERITY = {
+    AnomalyType.IN_LOOP_DEADLOCK: 5,
+    AnomalyType.OUT_OF_LOOP_DEADLOCK_CONTENTION: 5,
+    AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION: 5,
+    AnomalyType.PFC_STORM: 4,
+    AnomalyType.MICRO_BURST_INCAST: 3,
+    AnomalyType.NORMAL_CONTENTION: 2,
+    AnomalyType.UNKNOWN: 0,
+}
+
+
+@dataclass
+class Finding:
+    """One diagnosed anomaly: the what, where and why."""
+
+    anomaly: AnomalyType
+    root_cause: RootCauseKind
+    initial_port: Optional[PortRef]
+    # Flow contributors at the initial congestion point, weight-sorted desc.
+    culprit_flows: List[Tuple[FlowKey, float]] = field(default_factory=list)
+    # Peer device blamed for PFC injection (host name), if any.
+    injecting_source: Optional[str] = None
+    # Port-level path from the victim-pausing port to the initial point.
+    pfc_path: List[PortRef] = field(default_factory=list)
+    # Deadlock loop ports (in order), if a loop was found.
+    loop: List[PortRef] = field(default_factory=list)
+    # Flows responsible for spreading PFC along the path (paused at >= 2 hops).
+    spreading_flows: List[FlowKey] = field(default_factory=list)
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self.anomaly]
+
+    @property
+    def culprit_strength(self) -> float:
+        return sum(w for _, w in self.culprit_flows)
+
+    def culprit_keys(self) -> List[FlowKey]:
+        return [key for key, _ in self.culprit_flows]
+
+    def describe(self) -> str:
+        parts = [f"{self.anomaly.value} (root cause: {self.root_cause.value})"]
+        if self.initial_port is not None:
+            parts.append(f"initial congestion at {self.initial_port}")
+        if self.loop:
+            parts.append("loop: " + " -> ".join(str(p) for p in self.loop))
+        if self.pfc_path:
+            parts.append("PFC path: " + " -> ".join(str(p) for p in self.pfc_path))
+        if self.culprit_flows:
+            flows = ", ".join(f"{k} (w={w:.2f})" for k, w in self.culprit_flows[:4])
+            parts.append(f"culprits: {flows}")
+        if self.injecting_source is not None:
+            parts.append(f"injector: {self.injecting_source}")
+        return "; ".join(parts)
+
+
+@dataclass
+class Diagnosis:
+    """The full result for one victim complaint."""
+
+    victim: FlowKey
+    findings: List[Finding] = field(default_factory=list)
+
+    def primary(self) -> Finding:
+        """The most severe finding (or an UNKNOWN placeholder)."""
+        if not self.findings:
+            return Finding(
+                anomaly=AnomalyType.UNKNOWN,
+                root_cause=RootCauseKind.UNDETERMINED,
+                initial_port=None,
+            )
+        return max(self.findings, key=lambda f: (f.severity, f.culprit_strength))
+
+    @property
+    def anomaly(self) -> AnomalyType:
+        return self.primary().anomaly
+
+    def describe(self) -> str:
+        lines = [f"Diagnosis for victim {self.victim}:"]
+        if not self.findings:
+            lines.append("  no anomaly identified")
+        for i, finding in enumerate(
+            sorted(self.findings, key=lambda f: -f.severity), start=1
+        ):
+            lines.append(f"  [{i}] {finding.describe()}")
+        return "\n".join(lines)

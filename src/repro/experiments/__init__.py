@@ -1,0 +1,69 @@
+"""Experiment harness: runner, scoring and hardware models."""
+
+from .hardware import (
+    MemoryBreakdown,
+    cpu_poll_time_ms,
+    telemetry_memory,
+    tofino_resource_usage,
+    total_collection_time_ms,
+)
+from .metrics import AccuracyCounter, ScoreConfig, diagnosis_correct
+from .runner import (
+    RunConfig,
+    RunResult,
+    VictimOutcome,
+    causal_switches_of,
+    run_scenario,
+    select_reports,
+)
+
+__all__ = [
+    "MemoryBreakdown",
+    "cpu_poll_time_ms",
+    "telemetry_memory",
+    "tofino_resource_usage",
+    "total_collection_time_ms",
+    "AccuracyCounter",
+    "ScoreConfig",
+    "diagnosis_correct",
+    "RunConfig",
+    "RunResult",
+    "VictimOutcome",
+    "causal_switches_of",
+    "run_scenario",
+    "select_reports",
+]
+
+from .analyzer import (  # noqa: E402  (appended exports)
+    AnalyzerConfig,
+    AnalyzerService,
+    Incident,
+    deploy_analyzer,
+)
+
+__all__ += [
+    "AnalyzerConfig",
+    "AnalyzerService",
+    "Incident",
+    "deploy_analyzer",
+]
+
+from .sweep import (  # noqa: E402  (appended exports)
+    CSV_HEADER,
+    SweepPoint,
+    SweepResult,
+    best_configuration,
+    grid,
+    run_sweep,
+    write_csv,
+)
+
+__all__ += [
+    "CSV_HEADER",
+    "SweepPoint",
+    "SweepResult",
+    "best_configuration",
+    "grid",
+    "run_sweep",
+    "write_csv",
+]

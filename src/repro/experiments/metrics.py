@@ -1,0 +1,104 @@
+"""Precision/recall scoring against scenario ground truth (§4.2).
+
+The paper's definitions: a *true positive* identifies both the exact
+anomaly case (e.g., a deadlock) and the corresponding root causes (e.g.,
+the burst flows); *false positives* report an incorrect case or root
+cause; *false negatives* are anomalies that were never reported at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.report import Diagnosis, RootCauseKind
+from ..workloads.scenario import GroundTruth
+
+
+@dataclass
+class ScoreConfig:
+    # A contention diagnosis must recover at least this fraction of the
+    # ground-truth culprit flows (the paper's case studies call out the
+    # "main contributor flows" rather than every burst member)...
+    culprit_recall_threshold: float = 0.3
+    # ... and at most this fraction of its reported culprits may be wrong.
+    culprit_noise_threshold: float = 0.34
+
+
+def diagnosis_correct(
+    diagnosis: Diagnosis,
+    truth: GroundTruth,
+    config: Optional[ScoreConfig] = None,
+) -> bool:
+    """Is this a true positive (anomaly case AND root cause both right)?"""
+    config = config if config is not None else ScoreConfig()
+    primary = diagnosis.primary()
+    if primary.anomaly is not truth.anomaly:
+        return False
+    if truth.injecting_host is not None:
+        return (
+            primary.root_cause is RootCauseKind.HOST_PFC_INJECTION
+            and primary.injecting_source == truth.injecting_host
+        )
+    if truth.culprit_flows:
+        reported = set(primary.culprit_keys())
+        expected = set(truth.culprit_flows)
+        if not reported:
+            return False
+        recovered = len(reported & expected) / len(expected)
+        noise = len(reported - expected) / len(reported)
+        if noise > config.culprit_noise_threshold:
+            return False
+        if recovered >= config.culprit_recall_threshold:
+            return True
+        # Congestion control can reshape a symmetric burst so that one flow
+        # dominates the queue; naming only the dominant true culprits (zero
+        # innocents blamed) still identifies the root cause.
+        return noise == 0.0 and len(reported & expected) >= 1
+    return True
+
+
+@dataclass
+class AccuracyCounter:
+    """Tallies TP/FP/FN across scenario runs the paper's way."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    labels: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        diagnosis: Optional[Diagnosis],
+        truth: GroundTruth,
+        config: Optional[ScoreConfig] = None,
+        label: str = "",
+    ) -> bool:
+        """Record one run's outcome; returns whether it was a TP."""
+        if diagnosis is None or not diagnosis.findings:
+            self.fn += 1
+            self.labels.append(f"FN {label}")
+            return False
+        if diagnosis_correct(diagnosis, truth, config):
+            self.tp += 1
+            self.labels.append(f"TP {label}")
+            return True
+        self.fp += 1
+        self.labels.append(f"FP {label}: got {diagnosis.primary().describe()}")
+        return False
+
+    @property
+    def precision(self) -> float:
+        reported = self.tp + self.fp
+        return self.tp / reported if reported else 0.0
+
+    @property
+    def recall(self) -> float:
+        # The paper counts an anomaly as "recalled" when it is reported at
+        # all; unreported anomalies are the false negatives.
+        total = self.tp + self.fp + self.fn
+        return (self.tp + self.fp) / total if total else 0.0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn

@@ -1,0 +1,264 @@
+"""Scenario runner: simulate, collect, diagnose and account — for Hawkeye
+and every baseline system (§4).
+
+One :func:`run_scenario` call takes a freshly built scenario, attaches the
+system under test, runs the simulator, then produces per-victim diagnoses
+plus the overhead/coverage accounting the evaluation figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..baselines.systems import (
+    SystemKind,
+    apply_visibility,
+    bandwidth_overhead_bytes,
+    processing_overhead_bytes,
+)
+from ..collection.agent import AgentConfig, DetectionAgent, TriggerEvent
+from ..collection.collector import TelemetryCollector
+from ..collection.polling import PollingConfig, PollingEngine
+from ..core.build import AnnotatedGraph, build_provenance
+from ..core.diagnosis import Diagnoser
+from ..core.report import Diagnosis
+from ..sim.packet import POLLING_PACKET_SIZE, FlowKey
+from ..telemetry.epoch import EpochScheme
+from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
+from ..telemetry.snapshot import SwitchReport
+from ..units import usec
+from ..workloads.scenario import Scenario
+
+
+@dataclass
+class RunConfig:
+    """Everything the parameter sweeps of Fig 7/8 vary."""
+
+    system: SystemKind = SystemKind.HAWKEYE
+    epoch_size_ns: int = 1 << 20  # ~1 ms
+    epoch_index_bits: int = 2  # ring of 4 epochs
+    threshold_multiplier: float = 3.0  # 300% of base RTT
+    flow_slots: int = 4096
+    exclude_paused_in_contention: bool = True  # ablation knob
+    use_meters: bool = True  # ablation knob: False = ITSY-style 1-bit presence
+
+    def scheme(self) -> EpochScheme:
+        return EpochScheme.from_epoch_size(
+            self.epoch_size_ns, index_bits=self.epoch_index_bits
+        )
+
+
+@dataclass
+class VictimOutcome:
+    victim: FlowKey
+    trigger: Optional[TriggerEvent]
+    diagnosis: Optional[Diagnosis]
+    annotated: Optional[AnnotatedGraph] = None
+    reports_used: Dict[str, SwitchReport] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    scenario: Scenario
+    config: RunConfig
+    outcomes: List[VictimOutcome]
+    collected_switches: List[str]
+    causal_switches: Set[str]
+    processing_bytes: int
+    bandwidth_bytes: int
+    polling_packets: int
+    collections: int
+    events_run: int
+    data_pkt_hops: int
+
+    def primary_outcome(self) -> Optional[VictimOutcome]:
+        """The earliest-complaining victim's outcome (the paper diagnoses
+        one anomaly per complaint; concurrent victims share telemetry)."""
+        triggered = [o for o in self.outcomes if o.trigger is not None]
+        if not triggered:
+            return None
+        return min(triggered, key=lambda o: o.trigger.time_ns)
+
+    def diagnosis(self) -> Optional[Diagnosis]:
+        outcome = self.primary_outcome()
+        return outcome.diagnosis if outcome else None
+
+    def used_switches(self) -> List[str]:
+        """Switches whose telemetry the primary diagnosis actually used."""
+        outcome = self.primary_outcome()
+        if outcome is None:
+            return []
+        return sorted(outcome.reports_used)
+
+    @property
+    def causal_coverage(self) -> float:
+        """Fraction of causally relevant switches the diagnosis had data for."""
+        if not self.causal_switches:
+            return 1.0
+        hit = len(self.causal_switches & set(self.used_switches()))
+        return hit / len(self.causal_switches)
+
+
+def select_reports(
+    reports: List[SwitchReport], trigger_time: int, slack_ns: int = usec(200)
+) -> Dict[str, SwitchReport]:
+    """Pick, per switch, the report that best covers a trigger.
+
+    Preference order: the earliest report collected at/after the trigger
+    (the collection its own polling packet drove), else the freshest report
+    within ``slack_ns`` before it (a concurrent victim's collection the
+    dedup interval made us share), else the latest earlier report.
+    """
+    by_switch: Dict[str, List[SwitchReport]] = {}
+    for report in reports:
+        by_switch.setdefault(report.switch, []).append(report)
+    chosen: Dict[str, SwitchReport] = {}
+    for switch, candidates in by_switch.items():
+        candidates.sort(key=lambda r: r.collect_time)
+        after = [r for r in candidates if r.collect_time >= trigger_time]
+        near = [
+            r for r in candidates if trigger_time - slack_ns <= r.collect_time < trigger_time
+        ]
+        if after:
+            chosen[switch] = after[0]
+        elif near:
+            chosen[switch] = near[-1]
+        else:
+            chosen[switch] = candidates[-1]
+    return chosen
+
+
+def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:
+    """The switches a diagnosis provably needs: the victim's path, the PFC
+    loop (if any) and the initial congestion switch."""
+    net = scenario.network
+    truth = scenario.truth
+    src_host = net.topology.host_of_ip(victim.src_ip)
+    causal = set(net.routing.switch_path(src_host, victim.dst_ip, victim))
+    causal.update(p.node for p in truth.loop_ports)
+    if truth.initial_port is not None:
+        causal.add(truth.initial_port.node)
+    return causal
+
+
+def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunResult:
+    """Attach the system under test, run, and diagnose every victim."""
+    config = config if config is not None else RunConfig()
+    kind = config.system
+    net = scenario.network
+    scheme = config.scheme()
+
+    deployment = HawkeyeDeployment(
+        net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
+    )
+    collector = TelemetryCollector(deployment)
+    engine: Optional[PollingEngine] = None
+    if kind.uses_polling_packets or kind.pfc_blind:
+        # PFC-blind baselines still collect reactively along the victim path
+        # (SpiderMon's collection model); their visibility transform blinds
+        # the *contents* later.
+        engine = PollingEngine(
+            net,
+            deployment,
+            PollingConfig(trace_pfc=kind.traces_pfc, use_meters=config.use_meters),
+        )
+        engine.add_mirror_listener(collector.on_polling_mirror)
+
+    agent = DetectionAgent(
+        net, AgentConfig(threshold_multiplier=config.threshold_multiplier)
+    )
+    if kind.collects_everywhere:
+        # Full-network collection is subject to the same CPU read latency as
+        # polling-driven collection.
+        def _full_poll(_ev) -> None:
+            net.sim.schedule(
+                collector.read_delay_ns, lambda: collector.collect_all(net.sim.now)
+            )
+
+        agent.add_trigger_listener(_full_poll)
+
+    net.run(scenario.duration_ns)
+    collector.flush_pending(net.sim.now)
+
+    diagnoser = Diagnoser()
+    outcomes: List[VictimOutcome] = []
+    for victim in scenario.victims:
+        trigger = next(
+            (t for t in agent.triggers if t.victim == victim.key), None
+        )
+        if trigger is None:
+            outcomes.append(VictimOutcome(victim.key, None, None))
+            continue
+        raw = select_reports(collector.reports, trigger.time_ns)
+        if engine is not None:
+            # Each diagnosis consumes telemetry only from the switches its
+            # own polling trace covered (concurrent victims of the same
+            # anomaly share reports; unrelated switches are never fetched).
+            traced = engine.switches_traced_for(victim.key)
+            raw = {name: r for name, r in raw.items() if name in traced}
+        if not kind.traces_pfc and not kind.collects_everywhere:
+            # Victim-path-only systems diagnose each complaint from the
+            # telemetry of that victim's own path — the whole point of the
+            # Fig 8 comparison is that this misses part of the PFC loop.
+            src_host = net.topology.host_of_ip(victim.key.src_ip)
+            on_path = set(
+                net.routing.switch_path(src_host, victim.key.dst_ip, victim.key)
+            )
+            raw = {name: r for name, r in raw.items() if name in on_path}
+        reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
+        annotated = build_provenance(
+            reports,
+            net.topology,
+            window_ns=scheme.window_ns,
+            victim=victim.key,
+            exclude_paused=config.exclude_paused_in_contention,
+            epoch_size_ns=scheme.epoch_size_ns,
+        )
+        victim_path = net.routing.flow_path(
+            victim.src_host, victim.key.dst_ip, victim.key
+        )[1:]
+        diagnosis = diagnoser.diagnose(
+            annotated, victim.key, victim_path_ports=victim_path
+        )
+        outcomes.append(
+            VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
+        )
+
+    data_pkt_hops = sum(sw.stats.data_pkts for sw in net.switches.values())
+    data_pkts_sent = sum(f.packets_sent for f in net.flows)
+    polling_pkts = (engine.polling_packets_forwarded if engine else 0) + len(
+        agent.triggers
+    )
+    # Processing overhead = the telemetry one diagnosis consumes (Fig 9a);
+    # NetSight is the exception: it ships every postcard regardless.
+    primary = next(
+        (o for o in sorted(
+            (o for o in outcomes if o.trigger is not None),
+            key=lambda o: o.trigger.time_ns,
+        )),
+        None,
+    )
+    diagnosis_reports = primary.reports_used if primary is not None else {}
+    processing = processing_overhead_bytes(kind, diagnosis_reports, data_pkt_hops)
+    bandwidth = bandwidth_overhead_bytes(
+        kind, polling_pkts, POLLING_PACKET_SIZE, data_pkts_sent, data_pkt_hops
+    )
+
+    causal: Set[str] = set()
+    for victim in scenario.victims:
+        causal |= causal_switches_of(scenario, victim.key)
+
+    return RunResult(
+        scenario=scenario,
+        config=config,
+        outcomes=outcomes,
+        collected_switches=collector.collected_switches(),
+        causal_switches=causal,
+        processing_bytes=processing,
+        bandwidth_bytes=bandwidth,
+        polling_packets=polling_pkts,
+        collections=collector.stats.collections,
+        events_run=net.sim.events_run,
+        data_pkt_hops=data_pkt_hops,
+    )

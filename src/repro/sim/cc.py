@@ -1,0 +1,57 @@
+"""Simplified DCQCN congestion control.
+
+The shape matters more than the constants here: flows start at line rate
+(as RDMA NICs do), multiplicatively back off when CNPs arrive, and recover
+through fast-recovery then additive-increase stages.  That is enough to
+reproduce the congestion-control interactions the paper discusses (queue
+buildup from PFC falsifying congestion signals, line-rate bursts, etc.).
+"""
+
+from __future__ import annotations
+
+from .config import DcqcnConfig
+
+
+class DcqcnState:
+    """Per-flow DCQCN sender state."""
+
+    def __init__(self, line_rate: float, config: DcqcnConfig) -> None:
+        self.config = config
+        self.line_rate = line_rate
+        self.rate = line_rate  # bytes/s; line-rate start
+        self.target_rate = line_rate
+        self.alpha = 1.0
+        self.last_decrease_time = -(10**18)
+        self.recovery_stage = 0
+        self.cnp_seen_since_alpha_update = False
+
+    def on_cnp(self, now: int) -> bool:
+        """Process a CNP; returns True if a rate decrease was applied."""
+        self.cnp_seen_since_alpha_update = True
+        if now - self.last_decrease_time < self.config.rate_decrease_interval_ns:
+            return False
+        self.alpha = (1 - self.config.alpha_g) * self.alpha + self.config.alpha_g
+        self.target_rate = self.rate
+        self.rate = max(self.config.min_rate, self.rate * (1 - self.alpha / 2))
+        self.recovery_stage = 0
+        self.last_decrease_time = now
+        return True
+
+    def on_recovery_timer(self) -> None:
+        """Periodic rate recovery: fast recovery then additive increase."""
+        if self.rate >= self.line_rate:
+            self.rate = self.line_rate
+            return
+        self.recovery_stage += 1
+        if self.recovery_stage > self.config.fast_recovery_stages:
+            self.target_rate = min(
+                self.line_rate, self.target_rate + self.config.additive_increase
+            )
+        self.rate = min(self.line_rate, (self.rate + self.target_rate) / 2)
+
+    def on_alpha_timer(self) -> None:
+        """Alpha decays while no CNPs arrive (DCQCN's alpha update timer)."""
+        if self.cnp_seen_since_alpha_update:
+            self.cnp_seen_since_alpha_update = False
+            return
+        self.alpha = (1 - self.config.alpha_g) * self.alpha

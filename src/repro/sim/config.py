@@ -1,0 +1,76 @@
+"""Simulation parameters, collected in one dataclass.
+
+Defaults follow common RoCEv2 deployments (and the HPCC/DCQCN NS-3 configs
+the paper builds on): 1 KB MTU-sized data packets, PFC Xoff/Xon per ingress
+(port, priority), RED-style ECN marking at egress, DCQCN-like end-to-end
+congestion control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import KB, usec
+
+
+@dataclass
+class PfcConfig:
+    """Per-(ingress port, priority) PFC thresholds and timing."""
+
+    xoff_bytes: int = 40 * KB
+    xon_bytes: int = 20 * KB
+    pause_quanta: int = 0xFFFF  # quanta carried in PAUSE frames
+    # While an ingress stays above Xoff, re-send PAUSE every refresh interval
+    # so the upstream pause never lapses (matching NIC/switch behaviour).
+    refresh_interval_ns: int = usec(50)
+
+    def __post_init__(self) -> None:
+        if self.xon_bytes >= self.xoff_bytes:
+            raise ValueError("Xon must be strictly below Xoff")
+
+
+@dataclass
+class EcnConfig:
+    """RED-style ECN marking at the egress queue (DCQCN-compatible)."""
+
+    kmin_bytes: int = 40 * KB
+    kmax_bytes: int = 160 * KB
+    pmax: float = 0.2
+
+    def mark_probability(self, queue_bytes: int) -> float:
+        if queue_bytes <= self.kmin_bytes:
+            return 0.0
+        if queue_bytes >= self.kmax_bytes:
+            return 1.0
+        span = self.kmax_bytes - self.kmin_bytes
+        return self.pmax * (queue_bytes - self.kmin_bytes) / span
+
+
+@dataclass
+class DcqcnConfig:
+    """Simplified DCQCN rate control (rate decrease on CNP, staged recovery)."""
+
+    enabled: bool = True
+    alpha_g: float = 1.0 / 16.0
+    rate_decrease_interval_ns: int = usec(50)  # min gap between decreases
+    recovery_interval_ns: int = usec(55)
+    additive_increase: float = 5e6 / 8 * 1e3  # 5 Mbps in bytes/s... see below
+    fast_recovery_stages: int = 5
+    min_rate: float = 1e6 / 8  # 1 Mbps floor, bytes/s
+
+    def __post_init__(self) -> None:
+        # additive increase default: 40 Mbps in bytes/s
+        self.additive_increase = 40e6 / 8.0
+
+
+@dataclass
+class SimConfig:
+    """Top-level knobs for one simulation run."""
+
+    data_packet_size: int = 1 * KB
+    ack_every_packets: int = 4
+    cnp_interval_ns: int = usec(50)  # per-flow CNP generation rate limit
+    pfc: PfcConfig = field(default_factory=PfcConfig)
+    ecn: EcnConfig = field(default_factory=EcnConfig)
+    dcqcn: DcqcnConfig = field(default_factory=DcqcnConfig)
+    seed: int = 1

@@ -1,0 +1,88 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: integer-nanosecond timestamps, a binary heap of
+``(time, sequence, callback)`` entries, and cancellable handles.  The
+sequence number breaks ties so same-time events run in schedule order, which
+keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop shared by every simulated component."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[tuple] = []
+        self._seq: int = 0
+        self._events_run: int = 0
+
+    @property
+    def events_run(self) -> int:
+        """Total events executed so far (for performance reporting)."""
+        return self._events_run
+
+    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn`` after ``delay_ns`` nanoseconds of simulated time."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay_ns})")
+        return self.schedule_at(self.now + delay_ns, fn)
+
+    def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn`` at an absolute simulated time."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_ns} (now is {self.now})"
+            )
+        handle = EventHandle(time_ns, fn)
+        heapq.heappush(self._heap, (time_ns, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def run(self, until_ns: Optional[int] = None) -> None:
+        """Drain the event queue, optionally stopping at ``until_ns``.
+
+        Events scheduled exactly at ``until_ns`` still execute; the clock
+        never runs past it.
+        """
+        while self._heap:
+            time_ns, _, handle = self._heap[0]
+            if until_ns is not None and time_ns > until_ns:
+                break
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time_ns
+            self._events_run += 1
+            handle.fn()
+        if until_ns is not None and self.now < until_ns:
+            self.now = until_ns
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if the queue is idle."""
+        while self._heap:
+            time_ns, _, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time_ns
+        return None

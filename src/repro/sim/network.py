@@ -1,0 +1,140 @@
+"""The Network binds topology + routing + simulator into a runnable fabric."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..topology.graph import PortRef, Topology
+from ..topology.routing import RoutingTable
+from ..units import serialization_delay_ns
+from .config import SimConfig
+from .engine import Simulator
+from .flow import Flow
+from .host import Host
+from .packet import ACK_SIZE, FlowKey, Packet
+from .switch import Switch, SwitchObserver
+
+
+class Network:
+    """A simulated RDMA fabric.
+
+    Construction wires one :class:`Switch` per topology switch and one
+    :class:`Host` per topology host, all sharing a single event loop.
+    Telemetry systems attach observers to switches; the collection layer
+    installs polling handlers; workloads start :class:`Flow` objects.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: Optional[RoutingTable] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing if routing is not None else RoutingTable(topology)
+        self.config = config if config is not None else SimConfig()
+        self.sim = Simulator()
+        self.switches: Dict[str, Switch] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.flows: List[Flow] = []
+        self._build()
+
+    def _build(self) -> None:
+        for node in self.topology.switches:
+            self.switches[node.name] = Switch(node.name, self, self.config)
+        for node in self.topology.hosts:
+            ip = self.topology.host_ip(node.name)
+            self.hosts[node.name] = Host(node.name, ip, self, self.config)
+        for link in self.topology.links:
+            self._wire_end(link.a, link.b, link.bandwidth, link.delay_ns)
+            self._wire_end(link.b, link.a, link.bandwidth, link.delay_ns)
+
+    def _wire_end(self, end: PortRef, peer: PortRef, bandwidth: float, delay_ns: int) -> None:
+        node = self.topology.node(end.node)
+        peer_is_host = self.topology.node(peer.node).is_host
+        if node.is_switch:
+            self.switches[end.node].attach_port(end.port, bandwidth, delay_ns, peer, peer_is_host)
+        else:
+            self.hosts[end.node].attach_uplink(bandwidth, delay_ns, peer)
+
+    # -- runtime ------------------------------------------------------------------
+
+    def deliver(self, target: PortRef, pkt: Packet, delay_ns: int) -> None:
+        """Schedule delivery of ``pkt`` at the remote endpoint ``target``."""
+        node = self.topology.node(target.node)
+        if node.is_switch:
+            switch = self.switches[target.node]
+            self.sim.schedule(delay_ns, lambda: switch.receive(pkt, target.port))
+        else:
+            host = self.hosts[target.node]
+            self.sim.schedule(delay_ns, lambda: host.receive(pkt, target.port))
+
+    def start_flow(self, flow: Flow) -> None:
+        self.flows.append(flow)
+        self.hosts[flow.src_host].start_flow(flow)
+
+    def run(self, until_ns: int) -> None:
+        self.sim.run(until_ns)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def switch(self, name: str) -> Switch:
+        return self.switches[name]
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def add_switch_observer(self, obs: SwitchObserver, switches: Optional[List[str]] = None) -> None:
+        """Attach one observer instance to all (or selected) switches."""
+        names = switches if switches is not None else list(self.switches)
+        for name in names:
+            self.switches[name].add_observer(obs)
+
+    def estimate_base_rtt(self, src_host: str, dst_ip: str, flow_key: object = None) -> int:
+        """Unloaded RTT estimate for a path: store-and-forward both ways."""
+        path = self.routing.flow_path(src_host, dst_ip, flow_key if flow_key is not None else src_host)
+        rtt = 0
+        for ref in path:
+            link = self.topology.link_at(ref)
+            rtt += link.delay_ns + serialization_delay_ns(
+                self.config.data_packet_size, link.bandwidth
+            )
+            rtt += link.delay_ns + serialization_delay_ns(ACK_SIZE, link.bandwidth)
+        return rtt
+
+    def max_base_rtt(self) -> int:
+        """A loose upper bound on the unloaded RTT across the fabric.
+
+        The paper sets detection thresholds relative to the maximum RTT
+        "determined by the maximum hop count" (§5); we approximate it with
+        the diameter assuming uniform links.
+        """
+        hosts = self.topology.hosts
+        if len(hosts) < 2:
+            return 0
+        worst = 0
+        probe = hosts[0]
+        for other in hosts[1:]:
+            dst_ip = self.topology.host_ip(other.name)
+            worst = max(worst, self.estimate_base_rtt(probe.name, dst_ip))
+            src_ip = self.topology.host_ip(probe.name)
+            worst = max(worst, self.estimate_base_rtt(other.name, src_ip))
+        return worst
+
+    def make_flow(
+        self,
+        src_host: str,
+        dst_host: str,
+        size: int,
+        start_time: int,
+        src_port: int = 10000,
+        dst_port: int = 4791,
+    ) -> Flow:
+        """Convenience constructor resolving IPs from host names."""
+        key = FlowKey(
+            src_ip=self.topology.host_ip(src_host),
+            dst_ip=self.topology.host_ip(dst_host),
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+        return Flow(key=key, src_host=src_host, dst_host=dst_host, size=size, start_time=start_time)

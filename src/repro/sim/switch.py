@@ -1,0 +1,387 @@
+"""Output-queued switch model with PFC, ECN and telemetry hooks.
+
+The model mirrors how shared-buffer lossless Ethernet switches implement
+802.1Qbb:
+
+- Arriving packets are routed to an egress queue, but buffer occupancy is
+  accounted against the *ingress* (port, priority) they entered through.
+- When an ingress counter rises above ``Xoff`` the switch sends a PAUSE
+  frame out of that ingress port (to the upstream transmitter) and keeps
+  refreshing it; when the counter drains below ``Xon`` it sends RESUME.
+- An egress (port, priority) that has *received* a PAUSE stops transmitting
+  until the pause expires or a RESUME arrives.
+
+This is exactly the mechanism that lets congestion cascade hop-by-hop and
+produce the anomalies of §2.1.  Telemetry systems (Hawkeye or baselines)
+attach via :class:`SwitchObserver` without touching forwarding logic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..topology.graph import PortRef
+from ..units import serialization_delay_ns
+from .config import SimConfig
+from .packet import (
+    DATA_PRIORITY,
+    Packet,
+    PacketType,
+    pause_quanta_to_ns,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+# Priorities subject to PFC ingress accounting (the lossless classes).
+LOSSLESS_PRIORITIES = frozenset({DATA_PRIORITY})
+
+# Signature: (switch, packet, ingress_port) -> [(egress_port, flag), ...]
+PollingHandler = Callable[["Switch", Packet, int], List[Tuple[int, object]]]
+
+
+class SwitchObserver:
+    """Telemetry attachment points.  Subclass and override what you need."""
+
+    def on_egress_enqueue(
+        self,
+        switch: "Switch",
+        time_ns: int,
+        pkt: Packet,
+        egress_port: int,
+        ingress_port: Optional[int],
+        queue_depth_pkts: int,
+        queue_bytes: int,
+        port_paused: bool,
+    ) -> None:
+        """A packet was appended to an egress queue."""
+
+    def on_egress_dequeue(
+        self, switch: "Switch", time_ns: int, pkt: Packet, egress_port: int
+    ) -> None:
+        """A packet left an egress queue onto the wire."""
+
+    def on_pfc_received(
+        self, switch: "Switch", time_ns: int, port: int, priority: int, quanta: int
+    ) -> None:
+        """A PFC frame (PAUSE if quanta>0, RESUME if 0) arrived at ``port``."""
+
+    def on_pfc_sent(
+        self, switch: "Switch", time_ns: int, port: int, priority: int, quanta: int
+    ) -> None:
+        """This switch emitted a PFC frame out of ``port``."""
+
+
+class _EgressQueue:
+    __slots__ = ("pkts", "bytes")
+
+    def __init__(self) -> None:
+        self.pkts: deque = deque()
+        self.bytes = 0
+
+    def __len__(self) -> int:
+        return len(self.pkts)
+
+
+class _Port:
+    """Egress side of one switch port."""
+
+    __slots__ = (
+        "port_no",
+        "bandwidth",
+        "delay_ns",
+        "peer",
+        "peer_is_host",
+        "queues",
+        "paused_until",
+        "busy_until",
+        "wake",
+        "tx_bytes",
+        "tx_pkts",
+    )
+
+    def __init__(self, port_no: int, bandwidth: float, delay_ns: int, peer: PortRef, peer_is_host: bool) -> None:
+        self.port_no = port_no
+        self.bandwidth = bandwidth
+        self.delay_ns = delay_ns
+        self.peer = peer
+        self.peer_is_host = peer_is_host
+        self.queues: Dict[int, _EgressQueue] = {}
+        self.paused_until: Dict[int, int] = {}
+        self.busy_until = 0
+        self.wake = None  # pending wake handle (dedup)
+        self.tx_bytes = 0
+        self.tx_pkts = 0
+
+    def queue(self, priority: int) -> _EgressQueue:
+        q = self.queues.get(priority)
+        if q is None:
+            q = _EgressQueue()
+            self.queues[priority] = q
+        return q
+
+    def is_paused(self, priority: int, now: int) -> bool:
+        return self.paused_until.get(priority, 0) > now
+
+    def total_bytes(self) -> int:
+        return sum(q.bytes for q in self.queues.values())
+
+
+class SwitchStats:
+    """Per-switch counters used by overhead accounting and tests."""
+
+    def __init__(self) -> None:
+        self.rx_pkts = 0
+        self.tx_pkts = 0
+        self.pause_sent = 0
+        self.resume_sent = 0
+        self.pause_received = 0
+        self.resume_received = 0
+        self.polling_seen = 0
+        self.enqueued_bytes = 0
+        self.data_pkts = 0
+        self.data_bytes = 0
+
+
+class Switch:
+    """One simulated switch bound into a :class:`~repro.sim.network.Network`."""
+
+    def __init__(self, name: str, network: "Network", config: SimConfig) -> None:
+        self.name = name
+        self.network = network
+        self.sim = network.sim
+        self.config = config
+        self.ports: Dict[int, _Port] = {}
+        # ingress occupancy per (ingress_port, priority), bytes
+        self._ingress_bytes: Dict[Tuple[int, int], int] = {}
+        # True while we are asserting PAUSE toward the upstream of a port
+        self._pausing: Dict[Tuple[int, int], bool] = {}
+        self.observers: List[SwitchObserver] = []
+        self.polling_handler: Optional[PollingHandler] = None
+        self.stats = SwitchStats()
+        self._rng = random.Random((config.seed, name).__repr__())
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_port(self, port_no: int, bandwidth: float, delay_ns: int, peer: PortRef, peer_is_host: bool) -> None:
+        self.ports[port_no] = _Port(port_no, bandwidth, delay_ns, peer, peer_is_host)
+
+    def add_observer(self, obs: SwitchObserver) -> None:
+        self.observers.append(obs)
+
+    def ingress_occupancy(self, port: int, priority: int = DATA_PRIORITY) -> int:
+        return self._ingress_bytes.get((port, priority), 0)
+
+    def egress_queue_bytes(self, port: int, priority: int = DATA_PRIORITY) -> int:
+        return self.ports[port].queue(priority).bytes
+
+    def egress_queue_pkts(self, port: int, priority: int = DATA_PRIORITY) -> int:
+        return len(self.ports[port].queue(priority))
+
+    def egress_paused(self, port: int, priority: int = DATA_PRIORITY) -> bool:
+        return self.ports[port].is_paused(priority, self.sim.now)
+
+    # -- receive path ---------------------------------------------------------
+
+    def receive(self, pkt: Packet, ingress_port: int) -> None:
+        """Entry point for frames delivered by an attached link."""
+        self.stats.rx_pkts += 1
+        if pkt.ptype is PacketType.PFC:
+            self._handle_pfc(pkt, ingress_port)
+            return
+        if pkt.ptype is PacketType.POLLING:
+            self._handle_polling(pkt, ingress_port)
+            return
+        self._forward(pkt, ingress_port)
+
+    def _forward(self, pkt: Packet, ingress_port: int) -> None:
+        assert pkt.flow is not None
+        # ACKs and CNPs travel back toward the flow source.
+        if pkt.ptype in (PacketType.ACK, PacketType.CNP):
+            dst_ip = pkt.flow.src_ip
+        else:
+            dst_ip = pkt.flow.dst_ip
+        egress_port = self.network.routing.select_port(self.name, dst_ip, pkt.flow)
+        self.enqueue(pkt, egress_port, ingress_port)
+
+    def _handle_pfc(self, pkt: Packet, port_no: int) -> None:
+        """A PAUSE/RESUME frame arrived: (un)pause our egress on that port."""
+        port = self.ports[port_no]
+        now = self.sim.now
+        if pkt.pause_quanta > 0:
+            self.stats.pause_received += 1
+            duration = pause_quanta_to_ns(pkt.pause_quanta, port.bandwidth)
+            port.paused_until[pkt.pfc_priority] = now + duration
+            # When the pause lapses (if never refreshed) the transmitter
+            # must wake up by itself.
+            self.sim.schedule(duration + 1, lambda p=port_no: self._try_transmit(p))
+        else:
+            self.stats.resume_received += 1
+            port.paused_until[pkt.pfc_priority] = now
+            self._try_transmit(port_no)
+        for obs in self.observers:
+            obs.on_pfc_received(self, now, port_no, pkt.pfc_priority, pkt.pause_quanta)
+
+    def _handle_polling(self, pkt: Packet, ingress_port: int) -> None:
+        self.stats.polling_seen += 1
+        if self.polling_handler is None:
+            return
+        for egress_port, flag in self.polling_handler(self, pkt, ingress_port):
+            dup = pkt.copy_polling(flag, self.sim.now)
+            dup.hops = pkt.hops + 1
+            self.enqueue(dup, egress_port, ingress_port)
+
+    # -- enqueue / buffer accounting -------------------------------------------
+
+    def enqueue(self, pkt: Packet, egress_port: int, ingress_port: Optional[int]) -> None:
+        """Place a packet in an egress queue, with PFC ingress accounting."""
+        port = self.ports[egress_port]
+        queue = port.queue(pkt.priority)
+        now = self.sim.now
+
+        depth_pkts = len(queue)
+        depth_bytes = queue.bytes
+        paused = port.is_paused(pkt.priority, now)
+
+        # ECN marking against the egress queue occupancy (data only).
+        if pkt.ecn_capable and not pkt.ce_marked:
+            prob = self.config.ecn.mark_probability(depth_bytes)
+            if prob > 0 and self._rng.random() < prob:
+                pkt.ce_marked = True
+
+        pkt.ingress_port = ingress_port
+        queue.pkts.append(pkt)
+        queue.bytes += pkt.size
+        self.stats.enqueued_bytes += pkt.size
+        if pkt.ptype is PacketType.DATA:
+            self.stats.data_pkts += 1
+            self.stats.data_bytes += pkt.size
+
+        if ingress_port is not None and pkt.priority in LOSSLESS_PRIORITIES:
+            key = (ingress_port, pkt.priority)
+            occ = self._ingress_bytes.get(key, 0) + pkt.size
+            self._ingress_bytes[key] = occ
+            if occ > self.config.pfc.xoff_bytes and not self._pausing.get(key):
+                self._assert_pause(key)
+
+        for obs in self.observers:
+            obs.on_egress_enqueue(
+                self, now, pkt, egress_port, ingress_port, depth_pkts, depth_bytes, paused
+            )
+        self._try_transmit(egress_port)
+
+    # -- PFC generation ----------------------------------------------------------
+
+    def _assert_pause(self, key: Tuple[int, int]) -> None:
+        self._pausing[key] = True
+        self._send_pfc(key[0], key[1], self.config.pfc.pause_quanta)
+        self.sim.schedule(
+            self.config.pfc.refresh_interval_ns, lambda: self._refresh_pause(key)
+        )
+
+    def _refresh_pause(self, key: Tuple[int, int]) -> None:
+        if not self._pausing.get(key):
+            return
+        # Still above Xon?  Keep the upstream paused.
+        if self._ingress_bytes.get(key, 0) >= self.config.pfc.xon_bytes:
+            self._send_pfc(key[0], key[1], self.config.pfc.pause_quanta)
+            self.sim.schedule(
+                self.config.pfc.refresh_interval_ns, lambda: self._refresh_pause(key)
+            )
+        else:
+            self._release_pause(key)
+
+    def _release_pause(self, key: Tuple[int, int]) -> None:
+        if self._pausing.pop(key, None):
+            self._send_pfc(key[0], key[1], 0)
+
+    def _send_pfc(self, port_no: int, priority: int, quanta: int) -> None:
+        """Emit a PAUSE/RESUME out of ``port_no`` (out-of-band, not queued)."""
+        port = self.ports[port_no]
+        now = self.sim.now
+        if quanta > 0:
+            self.stats.pause_sent += 1
+        else:
+            self.stats.resume_sent += 1
+        for obs in self.observers:
+            obs.on_pfc_sent(self, now, port_no, priority, quanta)
+        frame = Packet.pfc(priority, quanta, now)
+        delay = serialization_delay_ns(frame.size, port.bandwidth) + port.delay_ns
+        self.network.deliver(port.peer, frame, delay)
+
+    # -- transmit path -------------------------------------------------------------
+
+    def _try_transmit(self, port_no: int) -> None:
+        port = self.ports[port_no]
+        now = self.sim.now
+        if port.busy_until > now:
+            return
+        pkt = self._pick_packet(port, now)
+        if pkt is None:
+            self._schedule_unpause_wake(port)
+            return
+
+        queue = port.queues[pkt.priority]
+        queue.pkts.popleft()
+        queue.bytes -= pkt.size
+        port.tx_bytes += pkt.size
+        port.tx_pkts += 1
+        self.stats.tx_pkts += 1
+
+        if pkt.ingress_port is not None and pkt.priority in LOSSLESS_PRIORITIES:
+            key = (pkt.ingress_port, pkt.priority)
+            occ = self._ingress_bytes.get(key, 0) - pkt.size
+            self._ingress_bytes[key] = occ
+            if occ < self.config.pfc.xon_bytes and self._pausing.get(key):
+                self._release_pause(key)
+
+        for obs in self.observers:
+            obs.on_egress_dequeue(self, now, pkt, port_no)
+
+        ser = serialization_delay_ns(pkt.size, port.bandwidth)
+        port.busy_until = now + ser
+        self.network.deliver(port.peer, pkt, ser + port.delay_ns)
+        self.sim.schedule(ser, lambda p=port_no: self._try_transmit(p))
+
+    def _pick_packet(self, port: _Port, now: int) -> Optional[Packet]:
+        """Highest-priority head-of-line packet whose class is not paused."""
+        best_prio = None
+        for prio, queue in port.queues.items():
+            if not queue.pkts:
+                continue
+            if port.is_paused(prio, now):
+                continue
+            if best_prio is None or prio > best_prio:
+                best_prio = prio
+        if best_prio is None:
+            return None
+        return port.queues[best_prio].pkts[0]
+
+    def _schedule_unpause_wake(self, port: _Port) -> None:
+        """If everything queued is paused, wake when the earliest pause lapses.
+
+        At most one pending wake per port (dedup) — refreshed pauses would
+        otherwise accumulate one event per enqueue attempt.
+        """
+        now = self.sim.now
+        times = [
+            port.paused_until.get(prio, 0)
+            for prio, q in port.queues.items()
+            if q.pkts and port.is_paused(prio, now)
+        ]
+        if not times:
+            return
+        wake_at = max(min(times) + 1, now + 1)
+        pending = port.wake
+        if pending is not None and not pending.cancelled and pending.time <= wake_at:
+            return
+        if pending is not None:
+            pending.cancel()
+
+        def fire(p=port.port_no, ref=port):
+            ref.wake = None
+            self._try_transmit(p)
+
+        port.wake = self.sim.schedule_at(wake_at, fire)

@@ -1,0 +1,216 @@
+"""Event tracing: structured recording of PFC and queue dynamics.
+
+A :class:`NetworkTracer` attaches to every switch and records PAUSE/RESUME
+events and (sampled) queue depths as plain records, with query helpers and
+a JSON-lines export.  It is the debugging companion to the telemetry
+system: telemetry is what the *switches* can afford to keep; the tracer is
+the omniscient view used to validate them and to visualize experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Dict, Iterable, List, Optional, Tuple
+
+from ..topology.graph import PortRef
+from .network import Network
+from .packet import Packet, PacketType
+from .switch import Switch, SwitchObserver
+
+
+@dataclass(frozen=True)
+class PfcEvent:
+    """One PAUSE/RESUME frame observation."""
+
+    time_ns: int
+    switch: str
+    port: int
+    priority: int
+    kind: str  # "pause" | "resume"
+    direction: str  # "rx" | "tx"
+
+    @property
+    def port_ref(self) -> PortRef:
+        return PortRef(self.switch, self.port)
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """Egress queue depth at one enqueue instant."""
+
+    time_ns: int
+    switch: str
+    port: int
+    depth_pkts: int
+    depth_bytes: int
+    paused: bool
+
+
+class NetworkTracer(SwitchObserver):
+    """Records PFC events and queue samples across the fabric."""
+
+    def __init__(
+        self,
+        network: Network,
+        sample_queue_every: int = 16,
+        switches: Optional[List[str]] = None,
+    ) -> None:
+        """``sample_queue_every``: record one queue sample per N data
+        enqueues per (switch, port) — full per-packet sampling is rarely
+        needed and triples memory."""
+        self.network = network
+        self.sample_queue_every = max(1, sample_queue_every)
+        self.pfc_events: List[PfcEvent] = []
+        self.queue_samples: List[QueueSample] = []
+        self._enqueue_counts: Dict[Tuple[str, int], int] = {}
+        network.add_switch_observer(self, switches)
+
+    # -- observer hooks ----------------------------------------------------------
+
+    def on_pfc_received(self, switch: Switch, time_ns: int, port: int, priority: int, quanta: int) -> None:
+        self.pfc_events.append(
+            PfcEvent(
+                time_ns=time_ns,
+                switch=switch.name,
+                port=port,
+                priority=priority,
+                kind="pause" if quanta > 0 else "resume",
+                direction="rx",
+            )
+        )
+
+    def on_pfc_sent(self, switch: Switch, time_ns: int, port: int, priority: int, quanta: int) -> None:
+        self.pfc_events.append(
+            PfcEvent(
+                time_ns=time_ns,
+                switch=switch.name,
+                port=port,
+                priority=priority,
+                kind="pause" if quanta > 0 else "resume",
+                direction="tx",
+            )
+        )
+
+    def on_egress_enqueue(
+        self,
+        switch: Switch,
+        time_ns: int,
+        pkt: Packet,
+        egress_port: int,
+        ingress_port,
+        queue_depth_pkts: int,
+        queue_bytes: int,
+        port_paused: bool,
+    ) -> None:
+        if pkt.ptype is not PacketType.DATA:
+            return
+        key = (switch.name, egress_port)
+        count = self._enqueue_counts.get(key, 0)
+        self._enqueue_counts[key] = count + 1
+        if count % self.sample_queue_every:
+            return
+        self.queue_samples.append(
+            QueueSample(
+                time_ns=time_ns,
+                switch=switch.name,
+                port=egress_port,
+                depth_pkts=queue_depth_pkts,
+                depth_bytes=queue_bytes,
+                paused=port_paused,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
+    def pause_events(self, switch: Optional[str] = None) -> List[PfcEvent]:
+        return [
+            e
+            for e in self.pfc_events
+            if e.kind == "pause" and (switch is None or e.switch == switch)
+        ]
+
+    def paused_intervals(self, port: PortRef, priority: int = 3) -> List[Tuple[int, int]]:
+        """(start, end) spans during which ``port`` was held paused (rx).
+
+        An unresumed trailing pause ends at the last traced event time.
+        """
+        events = sorted(
+            (
+                e
+                for e in self.pfc_events
+                if e.direction == "rx"
+                and e.port_ref == port
+                and e.priority == priority
+            ),
+            key=lambda e: e.time_ns,
+        )
+        intervals: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for event in events:
+            if event.kind == "pause" and start is None:
+                start = event.time_ns
+            elif event.kind == "resume" and start is not None:
+                intervals.append((start, event.time_ns))
+                start = None
+        if start is not None:
+            end = self.pfc_events[-1].time_ns if self.pfc_events else start
+            intervals.append((start, max(end, start)))
+        return intervals
+
+    def total_paused_ns(self, port: PortRef, priority: int = 3) -> int:
+        return sum(end - start for start, end in self.paused_intervals(port, priority))
+
+    def max_queue_depth(self, port: PortRef) -> int:
+        """Largest sampled egress queue depth (bytes) at ``port``."""
+        return max(
+            (
+                s.depth_bytes
+                for s in self.queue_samples
+                if s.switch == port.node and s.port == port.port
+            ),
+            default=0,
+        )
+
+    def pause_storm_ports(self, min_pauses: int = 10) -> List[PortRef]:
+        """Ports that received an unusual number of PAUSE frames."""
+        counts: Dict[PortRef, int] = {}
+        for e in self.pfc_events:
+            if e.kind == "pause" and e.direction == "rx":
+                counts[e.port_ref] = counts.get(e.port_ref, 0) + 1
+        return sorted(
+            (p for p, c in counts.items() if c >= min_pauses),
+            key=lambda p: -counts[p],
+        )
+
+    # -- export ------------------------------------------------------------------------
+
+    def export_jsonl(self, fh: IO[str]) -> int:
+        """Write all records as JSON lines; returns the record count."""
+        count = 0
+        for event in self.pfc_events:
+            fh.write(json.dumps({"type": "pfc", **asdict(event)}) + "\n")
+            count += 1
+        for sample in self.queue_samples:
+            fh.write(json.dumps({"type": "queue", **asdict(sample)}) + "\n")
+            count += 1
+        return count
+
+
+def load_jsonl(lines: Iterable[str]) -> Tuple[List[PfcEvent], List[QueueSample]]:
+    """Inverse of :meth:`NetworkTracer.export_jsonl`."""
+    events: List[PfcEvent] = []
+    samples: List[QueueSample] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.pop("type")
+        if kind == "pfc":
+            events.append(PfcEvent(**record))
+        elif kind == "queue":
+            samples.append(QueueSample(**record))
+        else:
+            raise ValueError(f"unknown trace record type {kind!r}")
+    return events, samples

@@ -1,0 +1,91 @@
+"""Epoch indexing by timestamp bit-slicing (§3.3, Figure 4).
+
+Programmable switches stamp each enqueued packet with a 48-bit nanosecond
+timestamp.  Hawkeye derives the telemetry epoch directly from that
+timestamp: ``epoch_size`` must be a power of two so the epoch index is just
+a bit-field, and the few bits above the index serve as an *epoch ID* that
+detects ring-buffer wrap-around (a newer ID in an incoming packet resets
+the epoch's registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def nearest_power_of_two_shift(epoch_size_ns: int) -> int:
+    """The bit shift whose ``2**shift`` is closest to ``epoch_size_ns``.
+
+    The paper's "1 ms epoch" is really ``2**20`` ns; sweeping epoch sizes
+    (Fig 7) therefore means sweeping this shift.
+    """
+    if epoch_size_ns <= 0:
+        raise ValueError("epoch size must be positive")
+    shift = max(1, epoch_size_ns.bit_length() - 1)
+    if abs(2 ** (shift + 1) - epoch_size_ns) < abs(2**shift - epoch_size_ns):
+        shift += 1
+    return shift
+
+
+@dataclass(frozen=True)
+class EpochScheme:
+    """How timestamps map onto the telemetry ring buffer.
+
+    - ``shift``: epoch duration is ``2**shift`` ns
+    - ``index_bits``: the ring holds ``2**index_bits`` epochs
+    - ``id_bits``: width of the wrap-around detection ID
+    """
+
+    shift: int = 20  # 2^20 ns ~ 1 ms
+    index_bits: int = 2
+    id_bits: int = 8
+
+    @classmethod
+    def from_epoch_size(
+        cls, epoch_size_ns: int, index_bits: int = 2, id_bits: int = 8
+    ) -> "EpochScheme":
+        return cls(
+            shift=nearest_power_of_two_shift(epoch_size_ns),
+            index_bits=index_bits,
+            id_bits=id_bits,
+        )
+
+    @property
+    def epoch_size_ns(self) -> int:
+        return 1 << self.shift
+
+    @property
+    def num_epochs(self) -> int:
+        return 1 << self.index_bits
+
+    @property
+    def window_ns(self) -> int:
+        """Total time span the ring buffer can hold."""
+        return self.epoch_size_ns * self.num_epochs
+
+    def epoch_number(self, timestamp_ns: int) -> int:
+        """The global (monotonic) epoch counter for a timestamp."""
+        return timestamp_ns >> self.shift
+
+    def epoch_index(self, timestamp_ns: int) -> int:
+        """Ring-buffer slot: ``timestamp[shift+index_bits-1 : shift]``."""
+        return self.epoch_number(timestamp_ns) & (self.num_epochs - 1)
+
+    def epoch_id(self, timestamp_ns: int) -> int:
+        """Wrap-around ID: the ``id_bits`` above the index bits."""
+        return (self.epoch_number(timestamp_ns) >> self.index_bits) & (
+            (1 << self.id_bits) - 1
+        )
+
+    def epoch_start(self, timestamp_ns: int) -> int:
+        return (timestamp_ns >> self.shift) << self.shift
+
+    def recent_epoch_numbers(self, now_ns: int, count: int) -> List[int]:
+        """The ``count`` most recent epoch numbers ending at ``now_ns``.
+
+        Capped at the ring size — older epochs have been overwritten.
+        """
+        count = min(count, self.num_epochs)
+        current = self.epoch_number(now_ns)
+        return [current - i for i in range(count) if current - i >= 0]

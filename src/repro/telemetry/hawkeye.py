@@ -1,0 +1,279 @@
+"""Hawkeye's PFC-aware switch telemetry (§3.3).
+
+One :class:`HawkeyeSwitchTelemetry` instance attaches to one simulated
+switch as a :class:`~repro.sim.switch.SwitchObserver` and maintains, in the
+"egress pipeline":
+
+- a ring buffer of epochs, each holding a hash-indexed flow table
+  (5-tuple match with eviction on collision), per-port counters and the
+  port-pair PFC causality meters of Figure 3;
+- per-port PFC status registers (paused flag + remaining pause time),
+  updated when PAUSE/RESUME frames are passed into the pipeline.
+
+Deviation noted for fidelity: the hardware compares only an 8-bit epoch ID
+to detect ring wrap-around; we store the full epoch number, which is
+equivalent unless an epoch sees no traffic for exactly ``2**id_bits`` ring
+cycles (impossible in the paper's windows of interest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.packet import DATA_PRIORITY, FlowKey, Packet, pause_quanta_to_ns
+from ..sim.switch import Switch, SwitchObserver
+from .epoch import EpochScheme
+from .records import EpochData, FlowEntry, PortEntry
+from .snapshot import SwitchReport
+
+
+@dataclass
+class TelemetryConfig:
+    """Sizing knobs for the on-switch telemetry (Fig 13's axes)."""
+
+    scheme: EpochScheme = None  # type: ignore[assignment]
+    flow_slots: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.scheme is None:
+            self.scheme = EpochScheme()
+
+
+class _EpochRegisters:
+    """The live register arrays for one ring-buffer epoch."""
+
+    __slots__ = ("epoch_number", "slots", "evicted", "ports", "meters")
+
+    def __init__(self, flow_slots: int) -> None:
+        self.epoch_number = -1
+        self.slots: List[Optional[FlowEntry]] = [None] * flow_slots
+        self.evicted: List[FlowEntry] = []
+        self.ports: Dict[int, PortEntry] = {}
+        self.meters: Dict[Tuple[int, int], int] = {}
+
+    def reset(self, epoch_number: int) -> None:
+        self.epoch_number = epoch_number
+        for i in range(len(self.slots)):
+            self.slots[i] = None
+        self.evicted.clear()
+        self.ports.clear()
+        self.meters.clear()
+
+
+class HawkeyeSwitchTelemetry(SwitchObserver):
+    """Per-switch telemetry recorder with PFC visibility and causality."""
+
+    def __init__(self, switch_name: str, config: Optional[TelemetryConfig] = None) -> None:
+        self.switch_name = switch_name
+        self.config = config if config is not None else TelemetryConfig()
+        self.scheme = self.config.scheme
+        self._rings = [
+            _EpochRegisters(self.config.flow_slots)
+            for _ in range(self.scheme.num_epochs)
+        ]
+        # Port PFC status registers: port -> pause expiry timestamp (ns).
+        self._pause_until: Dict[int, int] = {}
+        self.pause_frames_seen = 0
+        self.evictions = 0
+
+    # -- observer hooks -------------------------------------------------------
+
+    def on_egress_enqueue(
+        self,
+        switch: Switch,
+        time_ns: int,
+        pkt: Packet,
+        egress_port: int,
+        ingress_port: Optional[int],
+        queue_depth_pkts: int,
+        queue_bytes: int,
+        port_paused: bool,
+    ) -> None:
+        if pkt.priority != DATA_PRIORITY or pkt.flow is None:
+            return  # control traffic is not part of flow telemetry
+        reg = self._registers_for(time_ns)
+        paused = 1 if port_paused else 0
+
+        # Flow-level telemetry (hash slot, XOR match, evict on collision).
+        slot_idx = pkt.flow.stable_hash() % self.config.flow_slots
+        entry = reg.slots[slot_idx]
+        if entry is None or entry.key != pkt.flow:
+            if entry is not None:
+                reg.evicted.append(entry)
+                self.evictions += 1
+            entry = FlowEntry(key=pkt.flow, egress_port=egress_port)
+            reg.slots[slot_idx] = entry
+        entry.pkt_count += 1
+        entry.paused_count += paused
+        entry.qdepth_sum_pkts += queue_depth_pkts
+        entry.byte_count += pkt.size
+        if paused:
+            entry.qdepth_paused_sum_pkts += queue_depth_pkts
+
+        # Port-level telemetry (pre-aggregated in the egress pipeline so the
+        # analyzer never pays the flow->port aggregation cost, §3.3).
+        port_entry = reg.ports.get(egress_port)
+        if port_entry is None:
+            port_entry = PortEntry(port=egress_port)
+            reg.ports[egress_port] = port_entry
+        port_entry.pkt_count += 1
+        port_entry.paused_count += paused
+        port_entry.qdepth_sum_pkts += queue_depth_pkts
+
+        # PFC causality meter (Figure 3): volume from ingress to egress port.
+        if ingress_port is not None:
+            pair = (ingress_port, egress_port)
+            reg.meters[pair] = reg.meters.get(pair, 0) + pkt.size
+
+    def on_pfc_received(
+        self, switch: Switch, time_ns: int, port: int, priority: int, quanta: int
+    ) -> None:
+        self.pause_frames_seen += 1
+        bandwidth = switch.ports[port].bandwidth
+        if quanta > 0:
+            self._pause_until[port] = time_ns + pause_quanta_to_ns(quanta, bandwidth)
+            # Per-epoch PAUSE-frame counter (standard per-port PFC counter):
+            # keeps evidence of transient pauses that expire before the CPU
+            # reads the registers.
+            reg = self._registers_for(time_ns)
+            entry = reg.ports.get(port)
+            if entry is None:
+                entry = PortEntry(port=port)
+                reg.ports[port] = entry
+            entry.pause_rx_count += 1
+        else:
+            self._pause_until[port] = time_ns
+
+    # -- internal -----------------------------------------------------------------
+
+    def _registers_for(self, time_ns: int) -> _EpochRegisters:
+        number = self.scheme.epoch_number(time_ns)
+        reg = self._rings[number & (self.scheme.num_epochs - 1)]
+        if reg.epoch_number != number:
+            reg.reset(number)  # ring wrap-around: newer epoch ID resets registers
+        return reg
+
+    def _live_epochs(self, now_ns: int, lookback: int) -> List[_EpochRegisters]:
+        """The most recent ``lookback`` epochs still present in the ring.
+
+        Hardware semantics: registers are reset lazily, on the first *write*
+        of a newer epoch — so an epoch that saw the last traffic before the
+        network froze (e.g. a forming deadlock) stays readable indefinitely.
+        The CPU reads whatever the ring holds; we return the newest
+        ``lookback`` retained epochs no older than ``now``.
+        """
+        now_number = self.scheme.epoch_number(now_ns)
+        retained = sorted(
+            (
+                reg
+                for reg in self._rings
+                if 0 <= reg.epoch_number <= now_number
+            ),
+            key=lambda reg: -reg.epoch_number,
+        )
+        lookback = min(lookback, self.scheme.num_epochs)
+        return retained[:lookback]
+
+    # -- line-rate queries (used by the in-data-plane causality analysis) ----------
+
+    def port_paused_num(self, port: int, now_ns: int, lookback: Optional[int] = None) -> int:
+        """Paused-packet count at an egress port over recent epochs."""
+        lookback = lookback if lookback is not None else self.scheme.num_epochs
+        total = 0
+        for reg in self._live_epochs(now_ns, lookback):
+            entry = reg.ports.get(port)
+            if entry is not None:
+                total += entry.paused_count
+        return total
+
+    def flow_paused_num(self, key: FlowKey, now_ns: int, lookback: Optional[int] = None) -> int:
+        """Paused-packet count for one flow over recent epochs (all its slots)."""
+        lookback = lookback if lookback is not None else self.scheme.num_epochs
+        total = 0
+        slot_idx = key.stable_hash() % self.config.flow_slots
+        for reg in self._live_epochs(now_ns, lookback):
+            entry = reg.slots[slot_idx]
+            if entry is not None and entry.key == key:
+                total += entry.paused_count
+            for evicted in reg.evicted:
+                if evicted.key == key:
+                    total += evicted.paused_count
+        return total
+
+    def meter_volume(
+        self, ingress_port: int, egress_port: int, now_ns: int, lookback: Optional[int] = None
+    ) -> int:
+        """Causality meter volume from ``ingress_port`` to ``egress_port``."""
+        lookback = lookback if lookback is not None else self.scheme.num_epochs
+        total = 0
+        for reg in self._live_epochs(now_ns, lookback):
+            total += reg.meters.get((ingress_port, egress_port), 0)
+        return total
+
+    def port_pause_rx(self, port: int, now_ns: int, lookback: Optional[int] = None) -> int:
+        """PAUSE frames received at ``port`` over recent epochs."""
+        lookback = lookback if lookback is not None else self.scheme.num_epochs
+        total = 0
+        for reg in self._live_epochs(now_ns, lookback):
+            entry = reg.ports.get(port)
+            if entry is not None:
+                total += entry.pause_rx_count
+        return total
+
+    def port_is_paused(self, port: int, now_ns: int) -> bool:
+        return self._pause_until.get(port, 0) > now_ns
+
+    def remaining_pause_ns(self, port: int, now_ns: int) -> int:
+        return max(0, self._pause_until.get(port, 0) - now_ns)
+
+    # -- collection -----------------------------------------------------------------
+
+    def snapshot(self, now_ns: int, lookback: Optional[int] = None) -> SwitchReport:
+        """Copy out the recent epochs as a report (what the CPU poller reads).
+
+        Evicted flow entries were already "stored at the controller" when
+        they were displaced, so they are merged back into their epoch here.
+        """
+        lookback = lookback if lookback is not None else self.scheme.num_epochs
+        report = SwitchReport(switch=self.switch_name, collect_time=now_ns)
+        for reg in sorted(self._live_epochs(now_ns, lookback), key=lambda r: r.epoch_number):
+            epoch = EpochData(epoch_number=reg.epoch_number)
+            for entry in list(reg.evicted) + [e for e in reg.slots if e is not None]:
+                key = (entry.key, entry.egress_port)
+                existing = epoch.flows.get(key)
+                if existing is None:
+                    epoch.flows[key] = entry.copy()
+                else:
+                    existing.merge(entry)
+            for port, pentry in reg.ports.items():
+                epoch.ports[port] = pentry.copy()
+            epoch.meters = dict(reg.meters)
+            report.epochs.append(epoch)
+        report.port_status = {
+            port: max(0, until - now_ns) for port, until in self._pause_until.items()
+        }
+        return report
+
+
+class HawkeyeDeployment:
+    """Deploys Hawkeye telemetry on (a subset of) a network's switches.
+
+    Supports the partial-deployment discussion of §5 via ``switches``.
+    """
+
+    def __init__(self, network, config: Optional[TelemetryConfig] = None, switches=None):
+        self.network = network
+        self.config = config if config is not None else TelemetryConfig()
+        names = switches if switches is not None else list(network.switches)
+        self.telemetry: Dict[str, HawkeyeSwitchTelemetry] = {}
+        for name in names:
+            telem = HawkeyeSwitchTelemetry(name, self.config)
+            network.switches[name].add_observer(telem)
+            self.telemetry[name] = telem
+
+    def for_switch(self, name: str) -> HawkeyeSwitchTelemetry:
+        return self.telemetry[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.telemetry

@@ -1,0 +1,176 @@
+"""Standard topology builders used by the paper's evaluation.
+
+The paper evaluates on a Fat-Tree (K=4) with 20 switches, 100 Gbps links and
+2 us link delay (§4.1).  We additionally provide a leaf-spine builder and a
+dumbbell builder for unit tests and small case studies.
+"""
+
+from __future__ import annotations
+
+from ..units import gbps, usec
+from .graph import Topology
+
+DEFAULT_BANDWIDTH = gbps(100)
+DEFAULT_DELAY_NS = usec(2)
+
+
+def build_fat_tree(
+    k: int = 4,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    delay_ns: int = DEFAULT_DELAY_NS,
+    hosts_per_edge: int | None = None,
+) -> Topology:
+    """Build a K-ary fat-tree [14].
+
+    A K-ary fat-tree has K pods, each with K/2 edge and K/2 aggregation
+    switches, plus (K/2)^2 core switches.  K=4 yields the paper's 20-switch
+    topology.  Node naming:
+
+    - core switches:        ``C{i}``       (i in 0..(K/2)^2-1)
+    - aggregation switches: ``A{pod}_{i}`` (i in 0..K/2-1)
+    - edge switches:        ``E{pod}_{i}``
+    - hosts:                ``H{pod}_{edge}_{j}``
+
+    Host IPs are ``10.{pod}.{edge}.{j+2}`` following the fat-tree addressing
+    convention.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError("fat-tree K must be a positive even number")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+
+    topo = Topology(name=f"fattree-k{k}")
+
+    core = [f"C{i}" for i in range(half * half)]
+    for name in core:
+        topo.add_switch(name)
+
+    for pod in range(k):
+        aggs = [f"A{pod}_{i}" for i in range(half)]
+        edges = [f"E{pod}_{i}" for i in range(half)]
+        for name in aggs + edges:
+            topo.add_switch(name)
+        # edge <-> agg full bipartite inside the pod
+        for edge in edges:
+            for agg in aggs:
+                topo.add_link(edge, agg, bandwidth, delay_ns)
+        # agg <-> core: agg i connects to core group i
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, core[i * half + j], bandwidth, delay_ns)
+
+    for pod in range(k):
+        for e in range(half):
+            for j in range(hosts_per_edge):
+                host = f"H{pod}_{e}_{j}"
+                topo.add_host(host, ip=f"10.{pod}.{e}.{j + 2}")
+                topo.add_link(host, f"E{pod}_{e}", bandwidth, delay_ns)
+
+    return topo
+
+
+def build_leaf_spine(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    delay_ns: int = DEFAULT_DELAY_NS,
+) -> Topology:
+    """Build a two-tier leaf-spine fabric.
+
+    Naming: spines ``S{i}``, leaves ``L{i}``, hosts ``H{leaf}_{j}``.
+    """
+    if leaves < 1 or spines < 1:
+        raise ValueError("need at least one leaf and one spine")
+    topo = Topology(name=f"leafspine-{leaves}x{spines}")
+    for s in range(spines):
+        topo.add_switch(f"S{s}")
+    for l in range(leaves):
+        topo.add_switch(f"L{l}")
+        for s in range(spines):
+            topo.add_link(f"L{l}", f"S{s}", bandwidth, delay_ns)
+        for j in range(hosts_per_leaf):
+            host = f"H{l}_{j}"
+            topo.add_host(host, ip=f"10.{l}.0.{j + 2}")
+            topo.add_link(host, f"L{l}", bandwidth, delay_ns)
+    return topo
+
+
+def build_dumbbell(
+    hosts_per_side: int = 2,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    delay_ns: int = DEFAULT_DELAY_NS,
+) -> Topology:
+    """Two switches joined by one link, hosts on both sides.
+
+    The smallest topology that can show PFC back-pressure across a hop.
+    Naming: switches ``SW1``/``SW2``, hosts ``HL{j}`` (on SW1), ``HR{j}``
+    (on SW2).
+    """
+    topo = Topology(name="dumbbell")
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    topo.add_link("SW1", "SW2", bandwidth, delay_ns)
+    for j in range(hosts_per_side):
+        left = f"HL{j}"
+        topo.add_host(left, ip=f"10.1.0.{j + 2}")
+        topo.add_link(left, "SW1", bandwidth, delay_ns)
+    for j in range(hosts_per_side):
+        right = f"HR{j}"
+        topo.add_host(right, ip=f"10.2.0.{j + 2}")
+        topo.add_link(right, "SW2", bandwidth, delay_ns)
+    return topo
+
+
+def build_line(
+    num_switches: int = 3,
+    hosts_per_switch: int = 2,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    delay_ns: int = DEFAULT_DELAY_NS,
+) -> Topology:
+    """A chain of switches ``SW1 - SW2 - ... - SWn`` with hosts on each.
+
+    Useful for multi-hop PFC spreading scenarios like Figure 1(a).
+    Naming: switches ``SW{i}`` (1-based), hosts ``H{i}_{j}``.
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology(name=f"line-{num_switches}")
+    for i in range(1, num_switches + 1):
+        topo.add_switch(f"SW{i}")
+    for i in range(1, num_switches):
+        topo.add_link(f"SW{i}", f"SW{i + 1}", bandwidth, delay_ns)
+    for i in range(1, num_switches + 1):
+        for j in range(hosts_per_switch):
+            host = f"H{i}_{j}"
+            topo.add_host(host, ip=f"10.{i}.0.{j + 2}")
+            topo.add_link(host, f"SW{i}", bandwidth, delay_ns)
+    return topo
+
+
+def build_ring(
+    num_switches: int = 4,
+    hosts_per_switch: int = 2,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    delay_ns: int = DEFAULT_DELAY_NS,
+) -> Topology:
+    """A ring of switches — the canonical cyclic-buffer-dependency substrate.
+
+    With routing that pushes flows around the ring in one direction, PFC
+    deadlocks (Figure 1(c)/(d)) can form.  Naming matches :func:`build_line`.
+    """
+    if num_switches < 3:
+        raise ValueError("a ring needs at least 3 switches")
+    topo = Topology(name=f"ring-{num_switches}")
+    for i in range(1, num_switches + 1):
+        topo.add_switch(f"SW{i}")
+    for i in range(1, num_switches + 1):
+        nxt = i % num_switches + 1
+        topo.add_link(f"SW{i}", f"SW{nxt}", bandwidth, delay_ns)
+    for i in range(1, num_switches + 1):
+        for j in range(hosts_per_switch):
+            host = f"H{i}_{j}"
+            topo.add_host(host, ip=f"10.{i}.0.{j + 2}")
+            topo.add_link(host, f"SW{i}", bandwidth, delay_ns)
+    return topo

@@ -1,0 +1,95 @@
+"""Cyclic-buffer-dependency (CBD) analysis on routing state.
+
+PFC deadlocks require a CBD (§2.1): a cycle of egress buffers each waiting
+on the next.  Given the topology and the (possibly misconfigured) routing,
+this module builds the static *buffer dependency graph* — an edge from
+egress port ``A.p`` to egress port ``B.q`` whenever some flow class is
+routed through ``A.p`` into switch ``B`` and onward through ``B.q`` — and
+enumerates its cycles.
+
+This is the prevention-side complement to Hawkeye's runtime deadlock
+diagnosis (the paper points to Tagger-style CBD checking for resolution):
+a network whose buffer dependency graph is acyclic cannot deadlock, no
+matter what traffic arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .graph import PortRef, Topology
+from .routing import RoutingError, RoutingTable
+
+
+def buffer_dependency_graph(
+    topology: Topology, routing: RoutingTable
+) -> Dict[PortRef, Set[PortRef]]:
+    """Static buffer dependencies implied by the routing tables.
+
+    For every (switch, destination-host) routing decision we link each
+    *upstream* egress port that can deliver traffic into the switch to the
+    egress port that traffic would leave through.  Host-facing egress ports
+    are terminal (hosts sink traffic) and get no outgoing edges.
+    """
+    deps: Dict[PortRef, Set[PortRef]] = {}
+    for host in topology.hosts:
+        dst_ip = topology.host_ip(host.name)
+        for switch in topology.switches:
+            try:
+                egress_ports = routing.ecmp_ports(switch.name, dst_ip)
+            except RoutingError:
+                continue
+            for egress_no in egress_ports:
+                egress = PortRef(switch.name, egress_no)
+                # Any neighbor that routes toward this switch for dst can
+                # push traffic into `egress`.
+                for in_port, remote in topology.neighbors(switch.name):
+                    if in_port == egress_no:
+                        continue
+                    if topology.node(remote.node).is_host:
+                        continue
+                    try:
+                        remote_ports = routing.ecmp_ports(remote.node, dst_ip)
+                    except RoutingError:
+                        continue
+                    if remote.port in remote_ports:
+                        deps.setdefault(remote, set()).add(egress)
+    return deps
+
+
+def find_cbd_cycles(deps: Dict[PortRef, Set[PortRef]]) -> List[List[PortRef]]:
+    """All distinct simple cycles of the buffer dependency graph."""
+    cycles: List[List[PortRef]] = []
+    seen: Set[frozenset] = set()
+
+    def dfs(node: PortRef, stack: List[PortRef], on_stack: Set[PortRef], visited: Set[PortRef]):
+        stack.append(node)
+        on_stack.add(node)
+        visited.add(node)
+        for succ in deps.get(node, ()):
+            if succ in on_stack:
+                cycle = stack[stack.index(succ):]
+                sig = frozenset(cycle)
+                if sig not in seen:
+                    seen.add(sig)
+                    cycles.append(list(cycle))
+            elif succ not in visited:
+                dfs(succ, stack, on_stack, visited)
+        stack.pop()
+        on_stack.remove(node)
+
+    visited: Set[PortRef] = set()
+    for start in list(deps):
+        if start not in visited:
+            dfs(start, [], set(), visited)
+    return cycles
+
+
+def has_cbd(topology: Topology, routing: RoutingTable) -> bool:
+    """Can this routing state deadlock at all?"""
+    return bool(find_cbd_cycles(buffer_dependency_graph(topology, routing)))
+
+
+def check_deadlock_free(topology: Topology, routing: RoutingTable) -> List[List[PortRef]]:
+    """Return the CBD cycles (empty list == provably deadlock-free)."""
+    return find_cbd_cycles(buffer_dependency_graph(topology, routing))

@@ -1,0 +1,234 @@
+"""Network topology model: nodes, ports and links.
+
+The topology is the static wiring shared by the simulator, the telemetry
+layer and the diagnosis analyzer.  Nodes are either switches or hosts; each
+node exposes numbered ports; links connect exactly two ``(node, port)``
+endpoints and carry bandwidth/propagation-delay attributes.
+
+Port references are written ``SW1.P1`` throughout the codebase (matching the
+paper's figures), via :class:`PortRef`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class NodeKind(enum.Enum):
+    """The two node roles in an RDMA fabric."""
+
+    SWITCH = "switch"
+    HOST = "host"
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A ``(node, port)`` endpoint, e.g. ``SW1.P1``."""
+
+    node: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.node}.P{self.port}"
+
+    def __repr__(self) -> str:
+        return f"PortRef({self})"
+
+
+@dataclass
+class Node:
+    """A switch or host with a set of numbered ports."""
+
+    name: str
+    kind: NodeKind
+    ports: List[int] = field(default_factory=list)
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind is NodeKind.SWITCH
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind is NodeKind.HOST
+
+
+@dataclass
+class Link:
+    """A full-duplex link between two port endpoints."""
+
+    a: PortRef
+    b: PortRef
+    bandwidth: float  # bytes per second
+    delay_ns: int  # one-way propagation delay
+
+    def other_end(self, end: PortRef) -> PortRef:
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise ValueError(f"{end} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+
+class TopologyError(Exception):
+    """Raised on inconsistent topology construction or lookups."""
+
+
+class Topology:
+    """A named collection of nodes and links with endpoint lookups.
+
+    The class enforces that every port participates in at most one link and
+    provides the peer lookups (`peer_port`, `link_at`) that the simulator
+    and the PFC causality tracer rely on.
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: List[Link] = []
+        self._link_by_end: Dict[PortRef, Link] = {}
+        self._host_ips: Dict[str, str] = {}
+        self._ip_hosts: Dict[str, str] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_switch(self, name: str) -> Node:
+        """Register a switch node.  Ports are allocated by ``add_link``."""
+        return self._add_node(name, NodeKind.SWITCH)
+
+    def add_host(self, name: str, ip: Optional[str] = None) -> Node:
+        """Register a host node and assign it an IP address."""
+        node = self._add_node(name, NodeKind.HOST)
+        addr = ip if ip is not None else f"10.0.0.{len(self._host_ips) + 1}"
+        if addr in self._ip_hosts:
+            raise TopologyError(f"duplicate host IP {addr}")
+        self._host_ips[name] = addr
+        self._ip_hosts[addr] = name
+        return node
+
+    def _add_node(self, name: str, kind: NodeKind) -> Node:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name {name!r}")
+        node = Node(name=name, kind=kind)
+        self._nodes[name] = node
+        return node
+
+    def add_link(
+        self,
+        a_node: str,
+        b_node: str,
+        bandwidth: float,
+        delay_ns: int,
+        a_port: Optional[int] = None,
+        b_port: Optional[int] = None,
+    ) -> Link:
+        """Connect two nodes with a full-duplex link.
+
+        Port numbers are auto-allocated (next free index per node) unless
+        given explicitly.  Each port may carry only one link.
+        """
+        a = PortRef(a_node, self._claim_port(a_node, a_port))
+        b = PortRef(b_node, self._claim_port(b_node, b_port))
+        link = Link(a=a, b=b, bandwidth=bandwidth, delay_ns=delay_ns)
+        self._links.append(link)
+        self._link_by_end[a] = link
+        self._link_by_end[b] = link
+        return link
+
+    def _claim_port(self, node_name: str, port: Optional[int]) -> int:
+        node = self.node(node_name)
+        if port is None:
+            port = (max(node.ports) + 1) if node.ports else 1
+        if port in node.ports:
+            raise TopologyError(f"port {node_name}.P{port} already in use")
+        node.ports.append(port)
+        return port
+
+    # -- lookups -------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def switches(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_switch]
+
+    @property
+    def hosts(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_host]
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    def link_at(self, end: PortRef) -> Link:
+        try:
+            return self._link_by_end[end]
+        except KeyError:
+            raise TopologyError(f"no link at {end}") from None
+
+    def has_link_at(self, end: PortRef) -> bool:
+        return end in self._link_by_end
+
+    def peer_port(self, end: PortRef) -> PortRef:
+        """The remote endpoint of the link attached at ``end``."""
+        return self.link_at(end).other_end(end)
+
+    def neighbors(self, node_name: str) -> Iterator[Tuple[int, PortRef]]:
+        """Yield ``(local_port, remote_endpoint)`` for each attached link."""
+        for port in self.node(node_name).ports:
+            end = PortRef(node_name, port)
+            if end in self._link_by_end:
+                yield port, self.peer_port(end)
+
+    def host_ip(self, host_name: str) -> str:
+        try:
+            return self._host_ips[host_name]
+        except KeyError:
+            raise TopologyError(f"no IP for host {host_name!r}") from None
+
+    def host_of_ip(self, ip: str) -> str:
+        try:
+            return self._ip_hosts[ip]
+        except KeyError:
+            raise TopologyError(f"no host with IP {ip!r}") from None
+
+    def host_port(self, host_name: str) -> PortRef:
+        """The single port of a host (hosts are single-homed)."""
+        node = self.node(host_name)
+        if not node.is_host:
+            raise TopologyError(f"{host_name} is not a host")
+        connected = [
+            PortRef(host_name, p)
+            for p in node.ports
+            if PortRef(host_name, p) in self._link_by_end
+        ]
+        if len(connected) != 1:
+            raise TopologyError(
+                f"host {host_name} has {len(connected)} connected ports, expected 1"
+            )
+        return connected[0]
+
+    def attachment_of(self, host_name: str) -> PortRef:
+        """The switch-side port a host hangs off (ToR egress toward the host)."""
+        return self.peer_port(self.host_port(host_name))
+
+    def __str__(self) -> str:
+        return (
+            f"Topology({self.name}: {len(self.switches)} switches, "
+            f"{len(self.hosts)} hosts, {len(self._links)} links)"
+        )

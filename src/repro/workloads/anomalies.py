@@ -1,0 +1,494 @@
+"""Anomaly scenario builders (§2.1 / §4.1).
+
+Each builder crafts one of the paper's representative RDMA NPAs on a
+concrete topology, schedules the traffic that causes it, and records the
+ground truth used for precision/recall scoring:
+
+- **Incast back-pressure** (Figure 1a): synchronized line-rate micro-bursts
+  converge on one host; PFC spreads hop-by-hop and pauses a victim flow
+  that never traverses the congestion point.
+- **PFC storm** (Figure 1b): a host continuously injects PAUSE frames
+  (broken NIC / slow receiver); innocent traffic toward it freezes the
+  fabric upstream.
+- **Initiator-in-loop deadlock** (Figure 1c): a routing misconfiguration
+  creates a cyclic buffer dependency on a 4-switch ring; a short burst at
+  a ring port closes the pause cycle permanently.
+- **Initiator-out-of-loop deadlock** (Figure 1d): same CBD, but the pause
+  cycle is closed by host PFC injection (or host-port incast) outside the
+  loop.
+- **Normal flow contention**: queueing without any PFC (ample buffers).
+
+Deadlocks run on the ring topology — the CBD substrate the paper's own
+Figure 1(c)/(d) depicts — while the other anomalies run on the fat-tree
+(K=4, 20 switches) of §4.1.  Sizes are in the hundreds of KB (the paper's
+MB-scale bursts scaled ~1/1000 for simulation speed; PFC dynamics depend on
+rates and thresholds, not absolute sizes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..core.report import AnomalyType
+from ..sim.config import PfcConfig, SimConfig
+from ..sim.flow import Flow
+from ..sim.network import Network
+from ..topology.builders import build_fat_tree, build_ring
+from ..topology.graph import PortRef, Topology
+from ..topology.routing import RoutingTable, make_ring_cbd_routes
+from ..units import KB, msec, usec
+from .distributions import FlowSizeDistribution, PoissonArrivals
+from .scenario import GroundTruth, Scenario
+
+BACKGROUND_SCALE = 1e-3  # documented size scale for background flows
+
+
+def _config(seed: int, base: Optional[SimConfig] = None) -> SimConfig:
+    config = base if base is not None else SimConfig()
+    config.seed = seed
+    return config
+
+
+def add_background_traffic(
+    network: Network,
+    seed: int,
+    load: float,
+    duration_ns: int,
+    start_ns: int = 0,
+    exclude_hosts: Optional[Set[str]] = None,
+    src_port_base: int = 30000,
+) -> List[Flow]:
+    """Sprinkle Poisson background flows over the fabric at ``load``."""
+    if load <= 0:
+        return []
+    exclude = exclude_hosts or set()
+    hosts = [h.name for h in network.topology.hosts if h.name not in exclude]
+    bandwidth = network.hosts[hosts[0]].bandwidth or 12.5e9
+    sizes = FlowSizeDistribution(scale=BACKGROUND_SCALE)
+    arrivals = PoissonArrivals(sizes, load=load, host_bandwidth=bandwidth, seed=seed)
+    flows: List[Flow] = []
+    for i, (t, src, dst, size) in enumerate(
+        arrivals.generate(hosts, duration_ns, start_ns=start_ns)
+    ):
+        flow = network.make_flow(src, dst, size, t, src_port=src_port_base + i)
+        network.start_flow(flow)
+        flows.append(flow)
+    return flows
+
+
+# ---------------------------------------------------------------------------
+# PFC back-pressure by incast micro-bursts (Figure 1a)
+# ---------------------------------------------------------------------------
+
+
+def incast_backpressure_scenario(
+    seed: int = 1,
+    load: float = 0.0,
+    num_bursts: int = 6,
+    burst_size: int = 700 * KB,
+    duration_ns: int = msec(4),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """Synchronized micro-bursts into one host; victim off the burst path."""
+    topo = build_fat_tree(k=4)
+    cfg = _config(seed, config)
+    if config is None:
+        # Moderately deep ingress headroom (80 KB Xoff): hop-level queues
+        # grow enough that the victim's degradation clearly crosses even the
+        # strictest detection threshold the paper sweeps (500% of RTT).
+        cfg.pfc = PfcConfig(xoff_bytes=80 * KB, xon_bytes=40 * KB)
+    net = Network(topo, config=cfg)
+    rng = random.Random(seed)
+
+    target = "H0_0_0"
+    burst_sources = ["H1_0_0", "H1_0_1", "H1_1_0", "H1_1_1", "H2_0_0", "H2_0_1"]
+    burst_sources = burst_sources[:num_bursts]
+    burst_start = usec(40)
+    culprits = []
+    for i, src in enumerate(burst_sources):
+        jitter = rng.randrange(0, usec(5))
+        flow = net.make_flow(src, target, burst_size, burst_start + jitter,
+                             src_port=11000 + i)
+        net.start_flow(flow)
+        culprits.append(flow)
+
+    # Victim: same destination edge switch, different destination host — it
+    # shares the paused upstream ports but never the congested egress.  Long
+    # enough (2 MB ~ 160 us at line rate) to span the burst period.
+    victim = net.make_flow("H0_1_0", "H0_0_1", 2_000 * KB, usec(10), src_port=12000)
+    net.start_flow(victim)
+
+    add_background_traffic(
+        net, seed + 1000, load, duration_ns,
+        exclude_hosts={target, "H0_0_1", "H0_1_0", *burst_sources},
+    )
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.MICRO_BURST_INCAST,
+        culprit_flows=[f.key for f in culprits],
+        initial_port=topo.attachment_of(target),
+    )
+    return Scenario(
+        name=f"incast-backpressure-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description="Synchronized micro-bursts into H0_0_0 back-pressure the pod.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# PFC storm by host injection (Figure 1b)
+# ---------------------------------------------------------------------------
+
+
+def pfc_storm_scenario(
+    seed: int = 1,
+    load: float = 0.0,
+    storm_duration_ns: int = msec(3),
+    duration_ns: int = msec(4),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """A host floods PAUSE frames; innocent senders freeze the fabric."""
+    topo = build_fat_tree(k=4)
+    net = Network(topo, config=_config(seed, config))
+
+    injector = "H0_0_0"
+    # Innocent traffic toward the injecting host keeps the frozen queues fed.
+    # Two flows per source (distinct 5-tuples) so the ECMP spread covers both
+    # aggregation switches of the destination pod.
+    innocents = ["H1_0_0", "H1_1_0", "H2_0_0"]
+    innocent_flows = []
+    for i, src in enumerate(innocents):
+        for j in range(2):
+            flow = net.make_flow(
+                src, injector, 400 * KB, usec(20), src_port=11000 + 2 * i + j
+            )
+            # Application-limited: 6 x 15% of line rate stays below the host
+            # link capacity, so the traffic is innocent until the storm.
+            flow.max_rate = 0.15 * net.hosts[src].bandwidth
+            net.start_flow(flow)
+            innocent_flows.append(flow)
+
+    victim = net.make_flow("H0_1_0", "H0_0_1", 2_000 * KB, usec(10), src_port=12000)
+    net.start_flow(victim)
+
+    storm_start = usec(30)
+    net.sim.schedule(storm_start, lambda: net.hosts[injector].start_pfc_injection(storm_duration_ns))
+
+    add_background_traffic(
+        net, seed + 1000, load, duration_ns,
+        exclude_hosts={injector, "H0_0_1", "H0_1_0", *innocents},
+    )
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.PFC_STORM,
+        injecting_host=injector,
+        initial_port=topo.attachment_of(injector),
+    )
+    return Scenario(
+        name=f"pfc-storm-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description=f"{injector} continuously injects PFC PAUSE frames.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deadlocks on the ring CBD (Figures 1c, 1d)
+# ---------------------------------------------------------------------------
+
+
+def _ring_network(
+    seed: int, config: Optional[SimConfig], hosts_per_switch: int = 4
+) -> Tuple[Topology, Network, List[str]]:
+    """Ring-4 fabric with clockwise (CBD) routing misconfiguration."""
+    topo = build_ring(num_switches=4, hosts_per_switch=hosts_per_switch)
+    routing = RoutingTable(topo)
+    ring = ["SW1", "SW2", "SW3", "SW4"]
+    dst_ips = {
+        sw: [topo.host_ip(f"H{i + 1}_{j}") for j in range(hosts_per_switch)]
+        for i, sw in enumerate(ring)
+    }
+    make_ring_cbd_routes(routing, ring, dst_ips)
+    cfg = _config(seed, config)
+    # Deadlock formation requires the initial line-rate burst to out-run ECN
+    # throttling; raise the marking threshold accordingly (the queues of
+    # interest are frozen by PFC, not shaped by ECN, once the cycle closes).
+    cfg.ecn.kmin_bytes = max(cfg.ecn.kmin_bytes, 120 * KB)
+    cfg.ecn.kmax_bytes = max(cfg.ecn.kmax_bytes, 400 * KB)
+    # Shallow PFC headroom with wide hysteresis: the cascade closes the
+    # cycle before the initiating burst ends, and the ring-destined bytes
+    # stuck above Xon keep every ring ingress asserting PAUSE — making the
+    # deadlock persistent, as in Figure 1(c).
+    cfg.pfc = PfcConfig(xoff_bytes=30 * KB, xon_bytes=5 * KB)
+    net = Network(topo, routing=routing, config=cfg)
+    return topo, net, ring
+
+
+def _ring_port(topo: Topology, src_switch: str, dst_switch: str) -> PortRef:
+    for port, remote in topo.neighbors(src_switch):
+        if remote.node == dst_switch:
+            return PortRef(src_switch, port)
+    raise ValueError(f"no ring link {src_switch}->{dst_switch}")
+
+
+def _circulation_flows(
+    net: Network, size: int = 5_000 * KB, rate_fraction: float = 0.3
+) -> List[Flow]:
+    """Four two-hop clockwise flows that realize the buffer dependency.
+
+    Each ring link carries two of them, so they are rate-capped (application
+    -limited) to ``rate_fraction`` of line rate apiece — the CBD is benign
+    until something else congests a ring port, exactly as in Figure 1(c)/(d).
+    """
+    pairs = [("H1_0", "H3_0"), ("H2_0", "H4_0"), ("H3_0", "H1_0"), ("H4_0", "H2_0")]
+    flows = []
+    for i, (src, dst) in enumerate(pairs):
+        flow = net.make_flow(src, dst, size, usec(10), src_port=13000 + i)
+        flow.max_rate = rate_fraction * net.hosts[src].bandwidth
+        net.start_flow(flow)
+        flows.append(flow)
+    return flows
+
+
+def _ring_loop_ports(topo: Topology) -> List[PortRef]:
+    ring = ["SW1", "SW2", "SW3", "SW4"]
+    return [
+        _ring_port(topo, ring[i], ring[(i + 1) % 4]) for i in range(4)
+    ]
+
+
+def in_loop_deadlock_scenario(
+    seed: int = 1,
+    burst_size: int = 600 * KB,
+    duration_ns: int = msec(5),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """Short burst at a ring port closes the pause cycle (Figure 1c)."""
+    topo, net, _ = _ring_network(seed, config)
+    circulation = _circulation_flows(net)
+
+    # Micro-bursts over the SW2->SW3 ring link: local hosts on SW2 blast a
+    # host on SW3 — the in-loop initial congestion point.
+    culprits = []
+    for i, src in enumerate(["H2_1", "H2_2", "H2_3"]):
+        flow = net.make_flow(src, "H3_1", burst_size, usec(50) + i * usec(1),
+                             src_port=11000 + i)
+        net.start_flow(flow)
+        culprits.append(flow)
+
+    # Root causes: the micro-bursts, plus the two circulation flows whose
+    # packets genuinely occupy the initially congested ring queue (F1 from
+    # SW1 and F2 from SW2 both traverse the SW2->SW3 link).
+    crossing = [circulation[0].key, circulation[1].key]
+    truth = GroundTruth(
+        anomaly=AnomalyType.IN_LOOP_DEADLOCK,
+        culprit_flows=[f.key for f in culprits] + crossing,
+        initial_port=_ring_port(topo, "SW2", "SW3"),
+        loop_ports=_ring_loop_ports(topo),
+    )
+    return Scenario(
+        name=f"in-loop-deadlock-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=list(circulation),
+        duration_ns=duration_ns,
+        description="CBD ring; in-loop micro-burst at SW2->SW3 causes deadlock.",
+    )
+
+
+def out_of_loop_deadlock_scenario(
+    seed: int = 1,
+    injection: bool = True,
+    duration_ns: int = msec(5),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """PFC injected (or incast) outside the CBD closes the cycle (Figure 1d)."""
+    topo, net, _ = _ring_network(seed, config)
+    circulation = _circulation_flows(net)
+
+    target = "H2_1"
+    # Remote traffic toward the target keeps SW2's ring ingress loaded; it is
+    # innocent and application-limited (the ring stays uncongested until the
+    # injection/incast below).
+    feeders = []
+    for i, src in enumerate(["H1_1", "H1_2"]):
+        flow = net.make_flow(src, target, 800 * KB, usec(20), src_port=11000 + i)
+        flow.max_rate = 0.25 * net.hosts[src].bandwidth
+        net.start_flow(flow)
+        feeders.append(flow)
+
+    if injection:
+        net.sim.schedule(
+            usec(40), lambda: net.hosts[target].start_pfc_injection(msec(4))
+        )
+        truth = GroundTruth(
+            anomaly=AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION,
+            injecting_host=target,
+            initial_port=topo.attachment_of(target),
+            loop_ports=_ring_loop_ports(topo),
+        )
+        desc = f"CBD ring; {target} injects PFC, deadlocking the loop."
+        culprit_flows: List[Flow] = []
+    else:
+        # Out-of-loop contention: local incast onto the target's host port,
+        # long enough to hold the cycle closed past the detection window.
+        culprit_flows = []
+        for i, src in enumerate(["H2_2", "H2_3"]):
+            flow = net.make_flow(src, target, 4_000 * KB, usec(40) + i * usec(1),
+                                 src_port=11500 + i)
+            net.start_flow(flow)
+            culprit_flows.append(flow)
+        truth = GroundTruth(
+            anomaly=AnomalyType.OUT_OF_LOOP_DEADLOCK_CONTENTION,
+            culprit_flows=[f.key for f in culprit_flows] + [f.key for f in feeders],
+            initial_port=topo.attachment_of(target),
+            loop_ports=_ring_loop_ports(topo),
+        )
+        desc = f"CBD ring; incast at {target}'s port deadlocks the loop."
+
+    return Scenario(
+        name=f"out-of-loop-deadlock-{'inj' if injection else 'cont'}-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=list(circulation) + feeders,
+        duration_ns=duration_ns,
+        description=desc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Normal flow contention (no PFC)
+# ---------------------------------------------------------------------------
+
+
+def normal_contention_scenario(
+    seed: int = 1,
+    load: float = 0.0,
+    duration_ns: int = msec(3),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """Plain intra-queue contention with buffers ample enough to avoid PFC."""
+    topo = build_fat_tree(k=4)
+    cfg = _config(seed, config)
+    # Deep-buffer regime: congestion queues without ever crossing Xoff.
+    cfg.pfc = PfcConfig(xoff_bytes=4_000 * KB, xon_bytes=2_000 * KB)
+    cfg.ecn.kmin_bytes = 400 * KB
+    cfg.ecn.kmax_bytes = 1_200 * KB
+    net = Network(topo, config=cfg)
+
+    target = "H0_0_0"
+    culprits = []
+    sources = ["H1_0_0", "H1_1_0", "H2_0_0", "H2_1_0", "H1_0_1", "H2_0_1"]
+    for i, src in enumerate(sources):
+        flow = net.make_flow(src, target, 800 * KB, usec(30) + i * usec(1),
+                             src_port=11000 + i)
+        net.start_flow(flow)
+        culprits.append(flow)
+
+    # Victim shares the congested egress queue with the culprits; it starts
+    # mid-burst so its packets see the full backlog.
+    victim = net.make_flow("H3_0_0", target, 400 * KB, usec(60), src_port=12000)
+    net.start_flow(victim)
+
+    add_background_traffic(
+        net, seed + 1000, load, duration_ns,
+        exclude_hosts={target, "H3_0_0", *(f.src_host for f in culprits)},
+    )
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.NORMAL_CONTENTION,
+        culprit_flows=[f.key for f in culprits],
+        initial_port=topo.attachment_of(target),
+    )
+    return Scenario(
+        name=f"normal-contention-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description="Six senders share H0_0_0's queue; buffers deep enough for no PFC.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# LoRDMA-style low-rate attack (§2.1: "PFC backpressure ... can also be
+# potentially exploited by attackers, such as LoRDMA attacks")
+# ---------------------------------------------------------------------------
+
+
+def lordma_attack_scenario(
+    seed: int = 1,
+    pulse_size: int = 400 * KB,
+    pulse_interval_ns: int = usec(400),
+    num_pulses: int = 6,
+    duration_ns: int = msec(4),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """Periodic synchronized micro-burst pulses with a low *average* rate.
+
+    Each pulse briefly overwhelms the target's ToR port and fires a PFC
+    back-pressure wave that pauses the victim; between pulses the network
+    looks healthy, so rate-based monitoring sees nothing unusual.  Hawkeye
+    still catches it: the victim's inflated RTT triggers polling during a
+    pulse, and the telemetry epochs holding the pulse identify the attack
+    flows as the contention contributors.
+    """
+    topo = build_fat_tree(k=4)
+    cfg = _config(seed, config)
+    if config is None:
+        cfg.pfc = PfcConfig(xoff_bytes=80 * KB, xon_bytes=40 * KB)
+    net = Network(topo, config=cfg)
+    rng = random.Random(seed)
+
+    target = "H0_0_0"
+    attackers = ["H1_0_0", "H1_1_0", "H2_0_0", "H2_1_0", "H1_0_1", "H2_0_1"]
+    attack_flows = []
+    port = 11000
+    for pulse in range(num_pulses):
+        start = usec(40) + pulse * pulse_interval_ns
+        for attacker in attackers:
+            jitter = rng.randrange(0, usec(2))
+            flow = net.make_flow(attacker, target, pulse_size, start + jitter,
+                                 src_port=port)
+            port += 1
+            net.start_flow(flow)
+            attack_flows.append(flow)
+
+    # The target of the attack: a moderate-rate (application-limited)
+    # production flow — LoRDMA degrades well-behaved tenants covertly.
+    victim = net.make_flow("H0_1_0", "H0_0_1", 3_000 * KB, usec(10), src_port=12000)
+    victim.max_rate = 0.6 * net.hosts["H0_1_0"].bandwidth
+    net.start_flow(victim)
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.MICRO_BURST_INCAST,
+        culprit_flows=[f.key for f in attack_flows],
+        initial_port=topo.attachment_of(target),
+    )
+    return Scenario(
+        name=f"lordma-attack-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description=(
+            "Low-rate periodic burst pulses (LoRDMA-style) covertly pause "
+            f"the victim via PFC waves from {target}'s ToR."
+        ),
+    )
+
+
+SCENARIO_BUILDERS = {
+    "lordma-attack": lordma_attack_scenario,
+    "incast-backpressure": incast_backpressure_scenario,
+    "pfc-storm": pfc_storm_scenario,
+    "in-loop-deadlock": in_loop_deadlock_scenario,
+    "out-of-loop-deadlock": out_of_loop_deadlock_scenario,
+    "normal-contention": normal_contention_scenario,
+}

@@ -1,0 +1,94 @@
+"""Baseline system property and overhead-model tests."""
+
+import pytest
+
+from repro.baselines import (
+    NETSIGHT_POSTCARD_BYTES,
+    SPIDERMON_FLOW_RECORD_BYTES,
+    SPIDERMON_HEADER_BYTES,
+    SystemKind,
+    bandwidth_overhead_bytes,
+    processing_overhead_bytes,
+)
+from repro.sim import FlowKey
+from repro.telemetry import EpochData, FlowEntry, SwitchReport
+
+
+def report_with_flows(n):
+    rep = SwitchReport(switch="SW", collect_time=0)
+    epoch = EpochData(epoch_number=0)
+    for i in range(n):
+        k = FlowKey("10.0.0.1", "10.0.0.2", i, 4791)
+        epoch.flows[(k, 1)] = FlowEntry(k, 1, pkt_count=5, byte_count=5000)
+    rep.epochs = [epoch]
+    return rep
+
+
+class TestSystemProperties:
+    def test_pfc_tracing_systems(self):
+        assert SystemKind.HAWKEYE.traces_pfc
+        assert SystemKind.PORT_ONLY.traces_pfc
+        assert not SystemKind.VICTIM_ONLY.traces_pfc
+        assert not SystemKind.SPIDERMON.traces_pfc
+
+    def test_collection_scope(self):
+        assert SystemKind.FULL_POLLING.collects_everywhere
+        assert SystemKind.NETSIGHT.collects_everywhere
+        assert not SystemKind.HAWKEYE.collects_everywhere
+
+    def test_polling_usage(self):
+        assert SystemKind.HAWKEYE.uses_polling_packets
+        assert not SystemKind.FULL_POLLING.uses_polling_packets
+        assert not SystemKind.NETSIGHT.uses_polling_packets
+
+    def test_pfc_blindness(self):
+        assert SystemKind.SPIDERMON.pfc_blind and SystemKind.NETSIGHT.pfc_blind
+        assert not SystemKind.HAWKEYE.pfc_blind
+
+
+class TestProcessingOverhead:
+    def test_netsight_scales_with_packet_hops(self):
+        a = processing_overhead_bytes(SystemKind.NETSIGHT, {}, data_pkt_hops=100)
+        b = processing_overhead_bytes(SystemKind.NETSIGHT, {}, data_pkt_hops=200)
+        assert b == 2 * a == 200 * NETSIGHT_POSTCARD_BYTES
+
+    def test_spidermon_uses_36_bytes_per_flow(self):
+        reports = {"SW": report_with_flows(7)}
+        got = processing_overhead_bytes(SystemKind.SPIDERMON, reports, 10**6)
+        assert got == 7 * SPIDERMON_FLOW_RECORD_BYTES
+
+    def test_hawkeye_uses_report_payload(self):
+        reports = {"SW": report_with_flows(3)}
+        got = processing_overhead_bytes(SystemKind.HAWKEYE, reports, 10**6)
+        assert got == reports["SW"].payload_bytes()
+
+    def test_netsight_dwarfs_hawkeye(self):
+        """Fig 9a ordering: per-packet postcards cost orders more."""
+        reports = {"SW": report_with_flows(50)}
+        hawkeye = processing_overhead_bytes(SystemKind.HAWKEYE, reports, 0)
+        netsight = processing_overhead_bytes(SystemKind.NETSIGHT, {}, 10**6)
+        assert netsight > 100 * hawkeye
+
+
+class TestBandwidthOverhead:
+    def test_full_polling_is_free(self):
+        assert bandwidth_overhead_bytes(SystemKind.FULL_POLLING, 10, 64, 10**6, 10**6) == 0
+
+    def test_hawkeye_counts_polling_packets(self):
+        assert bandwidth_overhead_bytes(SystemKind.HAWKEYE, 12, 64, 10**6, 10**6) == 768
+
+    def test_spidermon_counts_per_packet_header(self):
+        got = bandwidth_overhead_bytes(SystemKind.SPIDERMON, 0, 64, 1000, 5000)
+        assert got == 1000 * SPIDERMON_HEADER_BYTES
+
+    def test_netsight_counts_postcards_per_hop(self):
+        got = bandwidth_overhead_bytes(SystemKind.NETSIGHT, 0, 64, 1000, 5000)
+        assert got == 5000 * NETSIGHT_POSTCARD_BYTES
+
+    def test_fig9b_ordering(self):
+        """Hawkeye's trigger-only polling beats per-packet schemes."""
+        pkts, hops = 100_000, 400_000
+        hawkeye = bandwidth_overhead_bytes(SystemKind.HAWKEYE, 20, 64, pkts, hops)
+        spider = bandwidth_overhead_bytes(SystemKind.SPIDERMON, 0, 64, pkts, hops)
+        netsight = bandwidth_overhead_bytes(SystemKind.NETSIGHT, 0, 64, pkts, hops)
+        assert hawkeye < spider < netsight

@@ -1,0 +1,84 @@
+"""Visibility transform tests."""
+
+import pytest
+
+from repro.baselines import (
+    SystemKind,
+    apply_visibility,
+    strip_flow_telemetry,
+    strip_pfc_visibility,
+    strip_port_causality,
+)
+from repro.sim import FlowKey
+from repro.telemetry import EpochData, FlowEntry, PortEntry, SwitchReport
+
+
+def key(i):
+    return FlowKey("10.0.0.1", "10.0.0.2", 1000 + i, 4791)
+
+
+@pytest.fixture
+def full_report():
+    rep = SwitchReport(switch="SW", collect_time=50)
+    epoch = EpochData(epoch_number=3)
+    epoch.flows[(key(1), 2)] = FlowEntry(
+        key(1), 2, pkt_count=10, paused_count=4, qdepth_sum_pkts=50, byte_count=10_000
+    )
+    epoch.ports[2] = PortEntry(2, pkt_count=10, paused_count=4, qdepth_sum_pkts=50)
+    epoch.meters[(1, 2)] = 10_000
+    rep.epochs = [epoch]
+    rep.port_status = {2: 1234}
+    return rep
+
+
+class TestStripFlowTelemetry:
+    def test_flows_dropped_ports_kept(self, full_report):
+        out = strip_flow_telemetry(full_report)
+        assert out.num_flow_entries() == 0
+        assert out.agg_ports()[2].paused_count == 4
+        assert out.agg_meters() == {(1, 2): 10_000}
+        assert out.port_status == {2: 1234}
+
+    def test_original_untouched(self, full_report):
+        strip_flow_telemetry(full_report)
+        assert full_report.num_flow_entries() == 1
+
+
+class TestStripPortCausality:
+    def test_ports_and_meters_dropped(self, full_report):
+        out = strip_port_causality(full_report)
+        assert out.agg_ports() == {}
+        assert out.agg_meters() == {}
+        assert out.port_status == {}
+        assert out.agg_flows()[(key(1), 2)].paused_count == 4
+
+
+class TestStripPfcVisibility:
+    def test_paused_counters_zeroed(self, full_report):
+        out = strip_pfc_visibility(full_report)
+        assert out.agg_flows()[(key(1), 2)].paused_count == 0
+        assert out.agg_ports()[2].paused_count == 0
+        assert out.agg_meters() == {}
+        assert out.port_status == {}
+
+    def test_traffic_counters_preserved(self, full_report):
+        out = strip_pfc_visibility(full_report)
+        assert out.agg_flows()[(key(1), 2)].pkt_count == 10
+        assert out.agg_ports()[2].qdepth_sum_pkts == 50
+
+
+class TestApplyVisibility:
+    def test_hawkeye_and_polling_unchanged(self, full_report):
+        for kind in (SystemKind.HAWKEYE, SystemKind.FULL_POLLING, SystemKind.VICTIM_ONLY):
+            assert apply_visibility(kind, full_report) is full_report
+
+    def test_port_only(self, full_report):
+        assert apply_visibility(SystemKind.PORT_ONLY, full_report).num_flow_entries() == 0
+
+    def test_flow_only(self, full_report):
+        assert apply_visibility(SystemKind.FLOW_ONLY, full_report).agg_meters() == {}
+
+    def test_pfc_blind(self, full_report):
+        for kind in (SystemKind.SPIDERMON, SystemKind.NETSIGHT):
+            out = apply_visibility(kind, full_report)
+            assert out.agg_ports()[2].paused_count == 0

@@ -1,0 +1,190 @@
+"""Algorithm 1 (provenance construction) unit tests on hand-built reports.
+
+These tests fabricate switch reports directly — no simulation — so every
+edge-construction rule of §3.5.1 is exercised in isolation.
+"""
+
+import pytest
+
+from repro.core import EdgeKind, build_provenance
+from repro.sim import FlowKey
+from repro.telemetry import EpochData, FlowEntry, PortEntry, SwitchReport
+from repro.topology import PortRef, build_line
+
+
+def key(i):
+    return FlowKey("10.1.0.2", "10.3.0.2", 1000 + i, 4791)
+
+
+@pytest.fixture
+def line3():
+    return build_line(num_switches=3, hosts_per_switch=2)
+
+
+def port_between(topo, a, b):
+    for port, remote in topo.neighbors(a):
+        if remote.node == b:
+            return port
+    raise AssertionError(f"no link {a}-{b}")
+
+
+def report(switch, flows=(), ports=(), meters=(), status=(), t=1000):
+    rep = SwitchReport(switch=switch, collect_time=t)
+    epoch = EpochData(epoch_number=0)
+    for entry in flows:
+        epoch.flows[(entry.key, entry.egress_port)] = entry
+    for entry in ports:
+        epoch.ports[entry.port] = entry
+    for (i, e), vol in meters:
+        epoch.meters[(i, e)] = vol
+    rep.epochs = [epoch]
+    rep.port_status = dict(status)
+    return rep
+
+
+def backpressure_reports(topo):
+    """Fig 1(a)-shaped telemetry: victim paused at SW1, contention at SW3."""
+    p12 = port_between(topo, "SW1", "SW2")
+    p21 = port_between(topo, "SW2", "SW1")
+    p23 = port_between(topo, "SW2", "SW3")
+    p32 = port_between(topo, "SW3", "SW2")
+    p3h = port_between(topo, "SW3", "H3_0")
+
+    victim = key(0)
+    spreader = key(1)  # paused at both SW1 and SW2
+    bursts = [key(2), key(3)]
+
+    rep1 = report(
+        "SW1",
+        flows=[
+            FlowEntry(victim, p12, pkt_count=40, paused_count=12, qdepth_sum_pkts=400, byte_count=40_000),
+            FlowEntry(spreader, p12, pkt_count=30, paused_count=9, qdepth_sum_pkts=300, byte_count=30_000),
+        ],
+        ports=[PortEntry(p12, pkt_count=70, paused_count=21, qdepth_sum_pkts=700)],
+    )
+    rep2 = report(
+        "SW2",
+        flows=[
+            FlowEntry(spreader, p23, pkt_count=30, paused_count=10, qdepth_sum_pkts=600, byte_count=30_000),
+        ],
+        ports=[PortEntry(p23, pkt_count=30, paused_count=10, qdepth_sum_pkts=600)],
+        meters=[((p21, p23), 30_000)],
+    )
+    rep3 = report(
+        "SW3",
+        flows=[
+            FlowEntry(bursts[0], p3h, pkt_count=100, paused_count=0, qdepth_sum_pkts=5000, byte_count=100_000),
+            FlowEntry(bursts[1], p3h, pkt_count=100, paused_count=0, qdepth_sum_pkts=5000, byte_count=100_000),
+            FlowEntry(spreader, p3h, pkt_count=10, paused_count=0, qdepth_sum_pkts=900, byte_count=10_000),
+        ],
+        ports=[PortEntry(p3h, pkt_count=210, paused_count=0, qdepth_sum_pkts=10_900)],
+        meters=[((p32, p3h), 140_000)],
+    )
+    refs = {
+        "p12": PortRef("SW1", p12),
+        "p23": PortRef("SW2", p23),
+        "p3h": PortRef("SW3", p3h),
+    }
+    return {"SW1": rep1, "SW2": rep2, "SW3": rep3}, victim, spreader, bursts, refs
+
+
+class TestPortLevelEdges:
+    def test_pfc_chain_built(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        g = ann.graph
+        assert g.weight(refs["p12"], refs["p23"]) is not None
+        assert g.weight(refs["p23"], refs["p3h"]) is not None
+
+    def test_weight_formula(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        # w = paused_num[p12] * meter_share * qdepth[p23]
+        #   = 21 * (30000/30000) * (600/30)
+        assert ann.graph.weight(refs["p12"], refs["p23"]) == pytest.approx(21 * 20.0)
+
+    def test_unpaused_port_emits_no_port_edges(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        assert ann.graph.port_out_degree(refs["p3h"]) == 0
+
+    def test_status_paused_port_keeps_chain_alive(self, line3):
+        """A paused-but-empty port (zero paused packets) still gets its
+        port-level edge via the Figure-3 status register."""
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        p12 = refs["p12"].port
+        rep1 = reports["SW1"]
+        rep1.epochs[0].ports[p12].paused_count = 0
+        for entry in rep1.epochs[0].flows.values():
+            entry.paused_count = 0
+        rep1.port_status = {p12: 100_000}  # still paused at collection
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        assert ann.graph.weight(refs["p12"], refs["p23"]) is not None
+        assert ann.port_meta[refs["p12"]].is_pfc_paused
+        assert ann.port_meta[refs["p12"]].effective_paused_num == 1
+
+    def test_missing_downstream_report_truncates_chain(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        del reports["SW3"]
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        assert ann.graph.port_out_degree(refs["p23"]) == 0
+
+    def test_zero_meter_means_no_edge(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        reports["SW2"].epochs[0].meters.clear()
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        assert ann.graph.weight(refs["p12"], refs["p23"]) is None
+
+
+class TestFlowPortEdges:
+    def test_paused_flows_get_edges(self, line3):
+        reports, victim, spreader, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        g = ann.graph
+        assert g.flow_port_weight(victim, refs["p12"]) == 12.0
+        assert g.flow_port_weight(spreader, refs["p12"]) == 9.0
+        assert g.flow_port_weight(spreader, refs["p23"]) == 10.0
+
+    def test_unpaused_flow_gets_no_edge(self, line3):
+        reports, victim, _, bursts, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        assert ann.graph.out_edges(bursts[0], EdgeKind.FLOW_PORT) == []
+
+    def test_spreading_flow_paused_at_two_hops(self, line3):
+        reports, victim, spreader, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        pausing = dict(ann.graph.ports_pausing_flow(spreader))
+        assert set(pausing) == {refs["p12"], refs["p23"]}
+
+
+class TestPortFlowEdges:
+    def test_burst_flows_positive_at_congested_port(self, line3):
+        reports, victim, spreader, bursts, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        weights = ann.graph.port_flow_weights(refs["p3h"])
+        assert weights[bursts[0]] > 0
+        assert weights[bursts[1]] > 0
+        assert weights[spreader] < 0  # few packets, deep queue: a victim
+
+
+class TestMetadata:
+    def test_port_meta_populated(self, line3):
+        reports, victim, _, _, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        meta = ann.port_meta[refs["p3h"]]
+        assert meta.peer_is_host
+        assert meta.pkt_num == 210
+        assert meta.avg_qdepth_pkts == pytest.approx(10_900 / 210)
+
+    def test_flow_port_meta_populated(self, line3):
+        reports, victim, _, bursts, refs = backpressure_reports(line3)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=victim)
+        meta = ann.flow_port_meta[(bursts[0], refs["p3h"])]
+        assert meta.pkt_count == 100
+        assert meta.byte_count == 100_000
+
+    def test_victim_added_even_without_telemetry(self, line3):
+        reports, *_ = backpressure_reports(line3)
+        ghost = key(99)
+        ann = build_provenance(reports, line3, window_ns=1 << 20, victim=ghost)
+        assert ghost in ann.graph.flows

@@ -1,0 +1,136 @@
+"""Contention-cause sub-analysis tests (Algorithm 2, lines 8-11)."""
+
+import pytest
+
+from repro.core import (
+    AnnotatedGraph,
+    AnomalyType,
+    ContentionKind,
+    Finding,
+    ProvenanceGraph,
+    RootCauseKind,
+    classify_contention,
+    ecmp_imbalance_ratio,
+    flow_profiles,
+)
+from repro.core.build import FlowPortMeta, PortMeta
+from repro.sim import FlowKey
+from repro.topology import PortRef
+from repro.units import msec
+
+
+def key(i, dst="10.0.0.9"):
+    return FlowKey("10.0.0.1", dst, 1000 + i, 4791)
+
+
+PORT = PortRef("SW", 1)
+
+
+def annotated_with(flows, window_ns=msec(1), extra_ports=()):
+    ann = AnnotatedGraph(graph=ProvenanceGraph(), window_ns=window_ns)
+    ann.port_meta[PORT] = PortMeta(peer=PortRef("SW2", 1))
+    for ref, peer, is_host in extra_ports:
+        ann.port_meta[ref] = PortMeta(peer=peer, peer_is_host=is_host)
+    for k, port, nbytes in flows:
+        ann.flow_port_meta[(k, port)] = FlowPortMeta(
+            pkt_count=max(1, nbytes // 1000), byte_count=nbytes
+        )
+    return ann
+
+
+def contention_finding(culprits):
+    return Finding(
+        anomaly=AnomalyType.MICRO_BURST_INCAST,
+        root_cause=RootCauseKind.FLOW_CONTENTION,
+        initial_port=PORT,
+        culprit_flows=[(k, 10.0) for k in culprits],
+    )
+
+
+class TestFlowProfiles:
+    def test_rates_and_shares(self):
+        ann = annotated_with([(key(1), PORT, 600_000), (key(2), PORT, 200_000)])
+        profiles = flow_profiles(ann, PORT, [key(1), key(2)])
+        assert profiles[0].key == key(1)
+        assert profiles[0].traffic_share == pytest.approx(0.75)
+        # 600 KB over 1 ms = 600 MB/s
+        assert profiles[0].rate_bytes_per_sec == pytest.approx(6e8)
+
+    def test_missing_meta_skipped(self):
+        ann = annotated_with([(key(1), PORT, 1000)])
+        assert flow_profiles(ann, PORT, [key(1), key(9)]) and len(
+            flow_profiles(ann, PORT, [key(9)])
+        ) == 0
+
+
+class TestClassification:
+    def test_incast_bursts(self):
+        flows = [(key(i), PORT, 100_000) for i in range(1, 5)]
+        ann = annotated_with(flows)
+        analysis = classify_contention(ann, contention_finding([key(i) for i in range(1, 5)]))
+        assert analysis.kind is ContentionKind.INCAST_BURSTS
+        assert analysis.shared_destination == "10.0.0.9"
+
+    def test_elephant_flow(self):
+        ann = annotated_with([(key(1), PORT, 900_000), (key(2), PORT, 50_000)])
+        analysis = classify_contention(ann, contention_finding([key(1), key(2)]))
+        assert analysis.kind is ContentionKind.ELEPHANT_FLOW
+
+    def test_mixed_when_destinations_differ(self):
+        flows = [
+            (key(1, dst="10.0.0.8"), PORT, 100_000),
+            (key(2, dst="10.0.0.9"), PORT, 100_000),
+            (key(3, dst="10.0.0.7"), PORT, 60_000),  # background sharer
+        ]
+        ann = annotated_with(flows)
+        culprits = [key(1, dst="10.0.0.8"), key(2, dst="10.0.0.9")]
+        analysis = classify_contention(ann, contention_finding(culprits))
+        assert analysis.kind is ContentionKind.MIXED
+
+    def test_none_without_culprits(self):
+        ann = annotated_with([])
+        finding = contention_finding([])
+        assert classify_contention(ann, finding).kind is ContentionKind.NONE
+
+    def test_describe(self):
+        ann = annotated_with([(key(1), PORT, 500_000)])
+        text = classify_contention(ann, contention_finding([key(1)])).describe()
+        assert "Gbps" in text
+
+
+class TestEcmpImbalance:
+    def test_ratio_against_siblings(self):
+        sibling = PortRef("SW", 2)
+        ann = annotated_with(
+            [(key(1), PORT, 300_000), (key(2), sibling, 100_000)],
+            extra_ports=[(sibling, PortRef("SW3", 1), False)],
+        )
+        ratio = ecmp_imbalance_ratio(ann, PORT, topology=None)
+        assert ratio == pytest.approx(3.0)
+
+    def test_host_facing_port_has_no_ratio(self):
+        host_port = PortRef("SW", 3)
+        ann = annotated_with(
+            [(key(1), host_port, 1000)],
+            extra_ports=[(host_port, PortRef("H", 1), True)],
+        )
+        assert ecmp_imbalance_ratio(ann, host_port, topology=None) is None
+
+    def test_no_siblings_returns_none(self):
+        ann = annotated_with([(key(1), PORT, 1000)])
+        assert ecmp_imbalance_ratio(ann, PORT, topology=None) is None
+
+
+class TestIntegration:
+    def test_incast_scenario_classified_as_bursts(self):
+        from repro.experiments import RunConfig, run_scenario
+        from repro.workloads import incast_backpressure_scenario
+
+        scenario = incast_backpressure_scenario(seed=1)
+        result = run_scenario(scenario, RunConfig())
+        outcome = result.primary_outcome()
+        analysis = classify_contention(
+            outcome.annotated, outcome.diagnosis.primary(), scenario.network.topology
+        )
+        assert analysis.kind in (ContentionKind.INCAST_BURSTS, ContentionKind.MIXED)
+        assert analysis.profiles

@@ -1,0 +1,103 @@
+"""Provenance graph structure tests."""
+
+import pytest
+
+from repro.core import EdgeKind, ProvenanceGraph
+from repro.sim import FlowKey
+from repro.topology import PortRef
+
+
+def key(i):
+    return FlowKey("10.0.0.1", "10.0.0.2", 1000 + i, 4791)
+
+
+@pytest.fixture
+def small_graph():
+    g = ProvenanceGraph()
+    p1, p2, p3 = PortRef("SW1", 1), PortRef("SW2", 3), PortRef("SW4", 1)
+    g.add_edge(p1, p2, EdgeKind.PORT_PORT, 5.0)
+    g.add_edge(p2, p3, EdgeKind.PORT_PORT, 7.0)
+    g.add_edge(key(1), p1, EdgeKind.FLOW_PORT, 12.0)
+    g.add_edge(p3, key(2), EdgeKind.PORT_FLOW, 3.5)
+    g.add_edge(p3, key(3), EdgeKind.PORT_FLOW, -2.0)
+    return g, (p1, p2, p3)
+
+
+class TestConstruction:
+    def test_nodes_registered_implicitly(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert {p1, p2, p3} == g.ports
+        assert {key(1), key(2), key(3)} == g.flows
+
+    def test_explicit_node_add(self):
+        g = ProvenanceGraph()
+        g.add_port(PortRef("S", 1))
+        g.add_flow(key(1))
+        assert PortRef("S", 1) in g.ports and key(1) in g.flows
+        assert g.out_edges(PortRef("S", 1)) == []
+
+
+class TestQueries:
+    def test_out_edges_by_kind(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert len(g.out_edges(p2, EdgeKind.PORT_PORT)) == 1
+        assert len(g.out_edges(p3, EdgeKind.PORT_FLOW)) == 2
+        assert g.out_edges(p3, EdgeKind.PORT_PORT) == []
+
+    def test_in_edges(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert len(g.in_edges(p1, EdgeKind.FLOW_PORT)) == 1
+        assert len(g.in_edges(p3, EdgeKind.PORT_PORT)) == 1
+
+    def test_weight_lookup(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert g.weight(p1, p2) == 5.0
+        assert g.weight(p2, p1) is None
+
+    def test_port_out_degree_counts_only_port_edges(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert g.port_out_degree(p1) == 1
+        assert g.port_out_degree(p3) == 0  # its edges are port-flow
+
+    def test_port_successors(self, small_graph):
+        g, (p1, p2, p3) = small_graph
+        assert g.port_successors(p1) == [p2]
+
+    def test_flow_port_weight(self, small_graph):
+        g, (p1, _, _) = small_graph
+        assert g.flow_port_weight(key(1), p1) == 12.0
+        assert g.flow_port_weight(key(2), p1) == 0.0
+
+    def test_port_flow_weights(self, small_graph):
+        g, (_, _, p3) = small_graph
+        assert g.port_flow_weights(p3) == {key(2): 3.5, key(3): -2.0}
+
+    def test_ports_pausing_flow(self, small_graph):
+        g, (p1, _, _) = small_graph
+        assert g.ports_pausing_flow(key(1)) == [(p1, 12.0)]
+
+    def test_has_port_level_edges(self, small_graph):
+        g, _ = small_graph
+        assert g.has_port_level_edges()
+        assert not ProvenanceGraph().has_port_level_edges()
+
+    def test_edges_iterator_filtered(self, small_graph):
+        g, _ = small_graph
+        assert len(list(g.edges())) == 5
+        assert len(list(g.edges(EdgeKind.PORT_FLOW))) == 2
+
+
+class TestRendering:
+    def test_to_dot_contains_nodes_and_styles(self, small_graph):
+        g, (p1, _, _) = small_graph
+        dot = g.to_dot()
+        assert "digraph provenance" in dot
+        assert str(p1) in dot
+        assert "dashed" in dot and "dotted" in dot
+        assert "red" in dot  # positive port-flow edge highlighted
+
+    def test_summary(self, small_graph):
+        g, _ = small_graph
+        text = g.summary()
+        assert "ports=3" in text and "flows=3" in text
+        assert "port-port=2" in text

@@ -1,0 +1,112 @@
+"""Queue replay and contribution tests (Algorithm 1 lines 21-37)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import contribution, replay_queue
+from repro.sim import FlowKey
+from repro.telemetry import FlowEntry
+
+
+def key(i):
+    return FlowKey("10.0.0.1", "10.0.0.2", 1000 + i, 4791)
+
+
+def entry(i, pkts, paused=0, qdepth_avg=0.0, port=1):
+    return FlowEntry(
+        key=key(i),
+        egress_port=port,
+        pkt_count=pkts,
+        paused_count=paused,
+        qdepth_sum_pkts=int(qdepth_avg * pkts),
+        byte_count=pkts * 1000,
+    )
+
+
+class TestReplayQueue:
+    def test_uniform_spacing(self):
+        seq = replay_queue([entry(1, pkts=4)], window_ns=1000)
+        assert [t for t, _ in seq] == [0, 250, 500, 750]
+
+    def test_flows_interleave(self):
+        seq = replay_queue([entry(1, pkts=2), entry(2, pkts=4)], window_ns=1000)
+        assert len(seq) == 6
+        assert [t for t, _ in seq] == sorted(t for t, _ in seq)
+
+    def test_empty_entries_skipped(self):
+        assert replay_queue([entry(1, pkts=0)], window_ns=1000) == []
+
+    def test_deterministic(self):
+        entries = [entry(2, pkts=5), entry(1, pkts=5)]
+        assert replay_queue(entries, 1000) == replay_queue(list(reversed(entries)), 1000)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6))
+    def test_total_packets_preserved(self, counts):
+        entries = [entry(i, pkts=c) for i, c in enumerate(counts)]
+        seq = replay_queue(entries, window_ns=10_000)
+        assert len(seq) == sum(counts)
+
+
+class TestContribution:
+    def test_empty(self):
+        assert contribution([], window_ns=1000) == {}
+
+    def test_single_flow_nets_to_zero(self):
+        out = contribution([entry(1, pkts=10, qdepth_avg=5)], window_ns=1000)
+        assert out[key(1)] == pytest.approx(0.0)
+
+    def test_large_flow_blamed_by_small_victim(self):
+        # A big flow occupying the queue vs a small flow arriving into it.
+        big = entry(1, pkts=90, qdepth_avg=20)
+        small = entry(2, pkts=10, qdepth_avg=40)
+        out = contribution([big, small], window_ns=1000)
+        assert out[key(1)] > 0, "the queue occupant is the contributor"
+        assert out[key(2)] < 0, "the deeper-waiting small flow is a victim"
+
+    def test_paused_packets_excluded(self):
+        # All of flow 1's packets enqueued during pause: its perceived queue
+        # is PFC buildup, not contention -> it must not be blamed by flow 2.
+        paused_flow = entry(1, pkts=50, paused=50, qdepth_avg=30)
+        witness = entry(2, pkts=5, qdepth_avg=30)
+        out = contribution([paused_flow, witness], window_ns=1000)
+        out_naive = contribution([paused_flow, witness], window_ns=1000, exclude_paused=False)
+        assert abs(out[key(2)]) <= abs(out_naive[key(2)])
+
+    def test_exclude_paused_flag_changes_result(self):
+        entries = [entry(1, pkts=50, paused=25, qdepth_avg=30), entry(2, pkts=50, qdepth_avg=30)]
+        strict = contribution(entries, window_ns=1000, exclude_paused=True)
+        naive = contribution(entries, window_ns=1000, exclude_paused=False)
+        assert strict != naive
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=40),  # pkts
+                st.integers(min_value=0, max_value=30),  # qdepth avg
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_contributions_sum_to_zero(self, specs):
+        """Wait-for weight conservation: incoming and outgoing cancel."""
+        entries = [entry(i, pkts=p, qdepth_avg=q) for i, (p, q) in enumerate(specs)]
+        out = contribution(entries, window_ns=10_000)
+        assert sum(out.values()) == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=40), min_size=2, max_size=5),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_all_flows_present_in_output(self, counts, qd):
+        entries = [entry(i, pkts=c, qdepth_avg=qd) for i, c in enumerate(counts)]
+        out = contribution(entries, window_ns=10_000)
+        assert set(out) == {key(i) for i in range(len(counts))}
+
+    def test_zero_depth_means_no_contention(self):
+        entries = [entry(1, pkts=10, qdepth_avg=0), entry(2, pkts=10, qdepth_avg=0)]
+        out = contribution(entries, window_ns=1000)
+        assert all(v == pytest.approx(0.0) for v in out.values())

@@ -1,0 +1,96 @@
+"""Diagnosis report type tests."""
+
+import pytest
+
+from repro.core import AnomalyType, Diagnosis, Finding, RootCauseKind
+from repro.sim import FlowKey
+from repro.topology import PortRef
+
+
+def key(i):
+    return FlowKey("10.0.0.1", "10.0.0.2", 1000 + i, 4791)
+
+
+def finding(anomaly, weight=1.0, port=PortRef("SW", 1)):
+    return Finding(
+        anomaly=anomaly,
+        root_cause=RootCauseKind.FLOW_CONTENTION,
+        initial_port=port,
+        culprit_flows=[(key(1), weight)],
+    )
+
+
+class TestAnomalyType:
+    def test_deadlock_classification(self):
+        assert AnomalyType.IN_LOOP_DEADLOCK.is_deadlock
+        assert AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION.is_deadlock
+        assert not AnomalyType.PFC_STORM.is_deadlock
+        assert not AnomalyType.NORMAL_CONTENTION.is_deadlock
+
+    def test_values_are_stable_identifiers(self):
+        assert AnomalyType.MICRO_BURST_INCAST.value == "pfc-backpressure-flow-contention"
+
+
+class TestFinding:
+    def test_severity_ordering(self):
+        deadlock = finding(AnomalyType.IN_LOOP_DEADLOCK)
+        storm = finding(AnomalyType.PFC_STORM)
+        burst = finding(AnomalyType.MICRO_BURST_INCAST)
+        contention = finding(AnomalyType.NORMAL_CONTENTION)
+        assert deadlock.severity > storm.severity > burst.severity > contention.severity
+
+    def test_culprit_helpers(self):
+        f = Finding(
+            anomaly=AnomalyType.MICRO_BURST_INCAST,
+            root_cause=RootCauseKind.FLOW_CONTENTION,
+            initial_port=PortRef("SW", 1),
+            culprit_flows=[(key(1), 5.0), (key(2), 3.0)],
+        )
+        assert f.culprit_keys() == [key(1), key(2)]
+        assert f.culprit_strength == 8.0
+
+    def test_describe_includes_loop_and_injector(self):
+        f = Finding(
+            anomaly=AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION,
+            root_cause=RootCauseKind.HOST_PFC_INJECTION,
+            initial_port=PortRef("SW2", 9),
+            injecting_source="H2_1",
+            loop=[PortRef("SW1", 1), PortRef("SW2", 2)],
+        )
+        text = f.describe()
+        assert "H2_1" in text and "loop" in text and "SW2.P9" in text
+
+
+class TestDiagnosis:
+    def test_primary_prefers_severity(self):
+        d = Diagnosis(
+            victim=key(0),
+            findings=[
+                finding(AnomalyType.NORMAL_CONTENTION),
+                finding(AnomalyType.PFC_STORM),
+            ],
+        )
+        assert d.primary().anomaly is AnomalyType.PFC_STORM
+        assert d.anomaly is AnomalyType.PFC_STORM
+
+    def test_primary_ties_broken_by_culprit_strength(self):
+        weak = finding(AnomalyType.IN_LOOP_DEADLOCK, weight=1.0, port=PortRef("A", 1))
+        strong = finding(AnomalyType.IN_LOOP_DEADLOCK, weight=9.0, port=PortRef("B", 1))
+        d = Diagnosis(victim=key(0), findings=[weak, strong])
+        assert d.primary().initial_port == PortRef("B", 1)
+
+    def test_empty_diagnosis_placeholder(self):
+        d = Diagnosis(victim=key(0))
+        assert d.primary().anomaly is AnomalyType.UNKNOWN
+        assert "no anomaly identified" in d.describe()
+
+    def test_describe_orders_by_severity(self):
+        d = Diagnosis(
+            victim=key(0),
+            findings=[
+                finding(AnomalyType.NORMAL_CONTENTION),
+                finding(AnomalyType.IN_LOOP_DEADLOCK),
+            ],
+        )
+        text = d.describe()
+        assert text.index("in-loop-deadlock") < text.index("normal-flow-contention")

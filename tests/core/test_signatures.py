@@ -1,0 +1,162 @@
+"""Table 2 signature predicate tests on hand-built annotated graphs."""
+
+import pytest
+
+from repro.core import (
+    AnnotatedGraph,
+    EdgeKind,
+    ProvenanceGraph,
+    burst_flow,
+    find_port_loops,
+    has_flow_contention,
+    match_in_loop_deadlock,
+    match_micro_burst_incast,
+    match_normal_contention,
+    match_out_of_loop_deadlock,
+    match_pfc_storm,
+    positive_contributors,
+    terminal_ports_reachable,
+)
+from repro.core.build import FlowPortMeta, PortMeta
+from repro.sim import FlowKey
+from repro.topology import PortRef
+
+
+def key(i):
+    return FlowKey("10.0.0.1", "10.0.0.2", 1000 + i, 4791)
+
+
+def P(name, port=1):
+    return PortRef(name, port)
+
+
+def annotate(graph, port_meta=None, flow_meta=None):
+    ann = AnnotatedGraph(graph=graph, window_ns=1 << 20)
+    ann.port_meta = port_meta or {}
+    ann.flow_port_meta = flow_meta or {}
+    return ann
+
+
+def chain_graph(with_contention=True, terminal_paused=False):
+    """A PFC chain P(A) -> P(B) -> P(C); contention or injection at P(C)."""
+    g = ProvenanceGraph()
+    g.add_edge(P("A"), P("B"), EdgeKind.PORT_PORT, 10.0)
+    g.add_edge(P("B"), P("C"), EdgeKind.PORT_PORT, 20.0)
+    g.add_edge(key(0), P("A"), EdgeKind.FLOW_PORT, 5.0)
+    meta = {
+        P("A"): PortMeta(paused_num=5),
+        P("B"): PortMeta(paused_num=8),
+        P("C"): PortMeta(paused_num=3 if terminal_paused else 0),
+    }
+    flow_meta = {}
+    if with_contention:
+        g.add_edge(P("C"), key(1), EdgeKind.PORT_FLOW, 30.0)
+        g.add_edge(P("C"), key(2), EdgeKind.PORT_FLOW, -30.0)
+        flow_meta[(key(1), P("C"))] = FlowPortMeta(pkt_count=100, byte_count=100_000)
+        flow_meta[(key(2), P("C"))] = FlowPortMeta(pkt_count=10, byte_count=10_000)
+    return annotate(g, meta, flow_meta)
+
+
+def loop_graph(escape=False, escape_contention=False):
+    """A 4-port loop; optionally one member escapes to a terminal."""
+    g = ProvenanceGraph()
+    ports = [P("SW1"), P("SW2"), P("SW3"), P("SW4")]
+    for i, p in enumerate(ports):
+        g.add_edge(p, ports[(i + 1) % 4], EdgeKind.PORT_PORT, 10.0)
+    g.add_edge(key(0), ports[0], EdgeKind.FLOW_PORT, 4.0)
+    meta = {p: PortMeta(paused_num=5) for p in ports}
+    flow_meta = {}
+    if escape:
+        term = P("SW2", 9)
+        g.add_edge(ports[1], term, EdgeKind.PORT_PORT, 3.0)
+        meta[term] = PortMeta(paused_num=2, peer_is_host=True)
+        if escape_contention:
+            g.add_edge(term, key(3), EdgeKind.PORT_FLOW, 12.0)
+            flow_meta[(key(3), term)] = FlowPortMeta(pkt_count=50, byte_count=50_000)
+    else:
+        g.add_edge(ports[1], key(1), EdgeKind.PORT_FLOW, 9.0)
+        flow_meta[(key(1), ports[1])] = FlowPortMeta(pkt_count=50, byte_count=50_000)
+    return annotate(g, meta, flow_meta), ports
+
+
+class TestHelpers:
+    def test_positive_contributors(self):
+        ann = chain_graph()
+        assert positive_contributors(ann.graph, P("C")) == [key(1)]
+
+    def test_has_flow_contention(self):
+        ann = chain_graph()
+        assert has_flow_contention(ann.graph, P("C"))
+        assert not has_flow_contention(ann.graph, P("A"))
+
+    def test_burst_flow_by_traffic_share(self):
+        ann = chain_graph()
+        assert burst_flow(ann, key(1), P("C"))  # 100 KB of 110 KB
+        assert not burst_flow(ann, key(9), P("C"))  # unknown flow
+
+    def test_terminal_ports_reachable(self):
+        ann = chain_graph()
+        assert terminal_ports_reachable(ann.graph, P("A")) == [P("C")]
+
+
+class TestLoopDetection:
+    def test_no_loops_in_chain(self):
+        assert find_port_loops(chain_graph().graph) == []
+
+    def test_loop_found(self):
+        ann, ports = loop_graph()
+        loops = find_port_loops(ann.graph)
+        assert len(loops) == 1
+        assert set(loops[0]) == set(ports)
+
+    def test_loop_with_escape_still_found(self):
+        ann, ports = loop_graph(escape=True)
+        loops = find_port_loops(ann.graph)
+        assert any(set(ports) == set(l) for l in loops)
+
+    def test_self_loop(self):
+        g = ProvenanceGraph()
+        g.add_edge(P("X"), P("X"), EdgeKind.PORT_PORT, 1.0)
+        assert find_port_loops(g) == [[P("X")]]
+
+
+class TestTable2Signatures:
+    def test_micro_burst_incast(self):
+        ann = chain_graph(with_contention=True)
+        assert match_micro_burst_incast(ann) == P("C")
+        assert match_pfc_storm(ann) is None
+
+    def test_pfc_storm(self):
+        ann = chain_graph(with_contention=False, terminal_paused=True)
+        assert match_pfc_storm(ann) == P("C")
+        assert match_micro_burst_incast(ann) is None
+
+    def test_in_loop_deadlock(self):
+        ann, ports = loop_graph()
+        loop = match_in_loop_deadlock(ann)
+        assert loop is not None and set(loop) == set(ports)
+
+    def test_out_of_loop_deadlock_injection(self):
+        ann, ports = loop_graph(escape=True, escape_contention=False)
+        match = match_out_of_loop_deadlock(ann)
+        assert match is not None
+        loop, terminal, contention = match
+        assert terminal == P("SW2", 9)
+        assert not contention
+        # The closed-loop signature must NOT fire for this graph.
+        assert match_in_loop_deadlock(ann) is None
+
+    def test_out_of_loop_deadlock_contention(self):
+        ann, _ = loop_graph(escape=True, escape_contention=True)
+        match = match_out_of_loop_deadlock(ann)
+        assert match is not None and match[2] is True
+
+    def test_normal_contention(self):
+        g = ProvenanceGraph()
+        g.add_edge(P("T"), key(1), EdgeKind.PORT_FLOW, 7.0)
+        ann = annotate(g, {P("T"): PortMeta()}, {})
+        assert match_normal_contention(ann) == P("T")
+
+    def test_normal_contention_excluded_when_pfc_present(self):
+        ann = chain_graph()
+        assert match_normal_contention(ann) is None

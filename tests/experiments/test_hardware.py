@@ -1,0 +1,60 @@
+"""Hardware model tests (Fig 13 / §4.5 shapes)."""
+
+import pytest
+
+from repro.experiments import (
+    cpu_poll_time_ms,
+    telemetry_memory,
+    tofino_resource_usage,
+    total_collection_time_ms,
+)
+
+
+class TestTelemetryMemory:
+    def test_flow_memory_scales_with_flows(self):
+        small = telemetry_memory(num_epochs=4, flow_slots=1024)
+        big = telemetry_memory(num_epochs=4, flow_slots=4096)
+        assert big.flow_telemetry == 4 * small.flow_telemetry
+        # Fig 13(b): causality + port telemetry are flow-count independent.
+        assert big.causality_structure == small.causality_structure
+        assert big.port_telemetry == small.port_telemetry
+
+    def test_memory_scales_with_epochs(self):
+        two = telemetry_memory(num_epochs=2, flow_slots=4096)
+        four = telemetry_memory(num_epochs=4, flow_slots=4096)
+        assert four.flow_telemetry == 2 * two.flow_telemetry
+
+    def test_flow_telemetry_dominates(self):
+        usage = telemetry_memory(num_epochs=4, flow_slots=4096, num_ports=64)
+        assert usage.flow_telemetry > usage.port_telemetry
+
+    def test_total(self):
+        usage = telemetry_memory(num_epochs=2, flow_slots=128, num_ports=8)
+        assert usage.total == (
+            usage.flow_telemetry + usage.port_telemetry + usage.causality_structure
+        )
+
+
+class TestTofinoUsage:
+    def test_all_resources_within_budget(self):
+        usage = tofino_resource_usage()
+        assert usage, "must report a breakdown"
+        assert all(0 < v <= 1.0 for v in usage.values())
+
+    def test_expected_resource_classes(self):
+        usage = tofino_resource_usage()
+        assert {"SRAM", "PHV", "Stages"} <= set(usage)
+
+
+class TestCpuPoller:
+    def test_paper_calibration_points(self):
+        """§4.5: ~80 ms for 2 epochs, ~120 ms for 4 (64 ports, 4096 flows)."""
+        assert cpu_poll_time_ms(2) == pytest.approx(80, rel=0.05)
+        assert cpu_poll_time_ms(4) == pytest.approx(120, rel=0.05)
+
+    def test_scales_with_flow_slots(self):
+        assert cpu_poll_time_ms(2, flow_slots=8192) > cpu_poll_time_ms(2, flow_slots=4096)
+
+    def test_total_collection_independent_of_switch_count(self):
+        """Parallel per-switch CPU polling: fabric size does not matter."""
+        assert total_collection_time_ms(1, 4) == total_collection_time_ms(100, 4)

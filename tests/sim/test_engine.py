@@ -1,0 +1,133 @@
+"""Event engine tests: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(10, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: sim.schedule_at(5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1, lambda: sim.schedule(1, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2]
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append("early"))
+        sim.schedule(100, lambda: seen.append("late"))
+        sim.run(until_ns=50)
+        assert seen == ["early"]
+        assert sim.now == 50
+
+    def test_boundary_event_included(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(50, lambda: seen.append("at"))
+        sim.run(until_ns=50)
+        assert seen == ["at"]
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append("late"))
+        sim.run(until_ns=50)
+        sim.run(until_ns=200)
+        assert seen == ["late"]
+
+    def test_clock_reaches_until_even_when_idle(self):
+        sim = Simulator()
+        sim.run(until_ns=1234)
+        assert sim.now == 1234
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancelled_not_counted(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.schedule(20, lambda: None)
+        sim.run()
+        assert sim.events_run == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        h.cancel()
+        assert sim.peek_next_time() == 20
+
+    def test_peek_empty(self):
+        assert Simulator().peek_next_time() is None
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=60))
+    def test_same_schedule_same_order(self, delays):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i, d in enumerate(delays):
+                sim.schedule(d, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=60))
+    def test_execution_times_nondecreasing(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)

@@ -1,0 +1,102 @@
+"""Simulator conservation and invariant tests (property-style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Network, PacketType, SwitchObserver
+from repro.topology import build_dumbbell, build_line
+from repro.units import KB, msec, usec
+
+
+class Ledger(SwitchObserver):
+    """Counts per-switch enqueues/dequeues for conservation checks."""
+
+    def __init__(self):
+        self.enq = {}
+        self.deq = {}
+
+    def on_egress_enqueue(self, sw, t, pkt, eport, iport, qd, qb, paused):
+        self.enq[sw.name] = self.enq.get(sw.name, 0) + 1
+
+    def on_egress_dequeue(self, sw, t, pkt, eport):
+        self.deq[sw.name] = self.deq.get(sw.name, 0) + 1
+
+
+class TestConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # src host index
+                st.integers(min_value=10, max_value=200),  # size KB
+                st.integers(min_value=0, max_value=100),  # start us
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_all_enqueued_packets_eventually_dequeued(self, specs):
+        """Lossless fabric: whatever enters a switch leaves it (no deadlock
+        topology here, so queues must fully drain)."""
+        net = Network(build_dumbbell(hosts_per_side=4))
+        ledger = Ledger()
+        net.add_switch_observer(ledger)
+        for i, (src, size_kb, start_us) in enumerate(specs):
+            flow = net.make_flow(
+                f"HL{src}", "HR0", size_kb * KB, usec(start_us), src_port=20000 + i
+            )
+            net.start_flow(flow)
+        net.run(msec(30))
+        assert ledger.enq == ledger.deq
+        for flow in net.flows:
+            assert flow.bytes_acked == flow.size
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_ingress_accounting_balances(self, nflows):
+        net = Network(build_line(num_switches=3, hosts_per_switch=4))
+        for i in range(nflows):
+            net.start_flow(
+                net.make_flow(f"H1_{i % 4}", f"H3_{i % 4}", 100 * KB, usec(i), src_port=30000 + i)
+            )
+        net.run(msec(20))
+        for sw in net.switches.values():
+            for port in sw.ports:
+                assert sw.ingress_occupancy(port) == 0
+                assert sw.egress_queue_bytes(port) == 0
+
+    def test_pause_resume_pairing(self):
+        """Every pausing episode that ends produces a RESUME (or expires);
+        sent RESUME count never exceeds sent PAUSE count."""
+        net = Network(build_dumbbell(hosts_per_side=4))
+        for j in range(4):
+            net.start_flow(net.make_flow(f"HL{j}", "HR0", 300 * KB, usec(1), src_port=10 + j))
+        net.run(msec(10))
+        for sw in net.switches.values():
+            assert sw.stats.resume_sent <= sw.stats.pause_sent
+
+    def test_sequence_numbers_contiguous(self):
+        net = Network(build_dumbbell(hosts_per_side=1))
+        seqs = []
+
+        class SeqSpy(SwitchObserver):
+            def on_egress_enqueue(self, sw, t, pkt, e, i, qd, qb, p):
+                if pkt.ptype is PacketType.DATA and sw.name == "SW1":
+                    seqs.append(pkt.seq)
+
+        net.add_switch_observer(SeqSpy(), ["SW1"])
+        net.start_flow(net.make_flow("HL0", "HR0", 50 * KB, 0))
+        net.run(msec(2))
+        assert seqs == list(range(50))
+
+    def test_no_events_after_quiescence(self):
+        """Once all flows complete, the event queue runs dry (no leaks)."""
+        net = Network(build_dumbbell(hosts_per_side=2))
+        net.start_flow(net.make_flow("HL0", "HR0", 20 * KB, 0))
+        net.run(msec(50))
+        # Only unfired periodic events may remain; none within 10 more ms
+        # should change any flow state.
+        acked = [f.bytes_acked for f in net.flows]
+        net.run(msec(60))
+        assert [f.bytes_acked for f in net.flows] == acked

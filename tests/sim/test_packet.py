@@ -1,0 +1,125 @@
+"""Packet and flow-key model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CONTROL_PRIORITY,
+    DATA_PRIORITY,
+    FlowKey,
+    Packet,
+    PacketType,
+    PollingFlag,
+    pause_quanta_to_ns,
+)
+from repro.units import gbps
+
+
+def key(sport=1000, dport=4791):
+    return FlowKey("10.0.0.1", "10.0.0.2", sport, dport)
+
+
+class TestFlowKey:
+    def test_equality_and_hash(self):
+        assert key() == key()
+        assert key(1) != key(2)
+        assert len({key(1), key(2), key(1)}) == 2
+
+    def test_stable_hash_is_deterministic(self):
+        assert key().stable_hash() == key().stable_hash()
+
+    def test_stable_hash_differs_for_different_flows(self):
+        assert key(1).stable_hash() != key(2).stable_hash()
+
+    def test_str(self):
+        assert str(key()) == "10.0.0.1:1000->10.0.0.2:4791/17"
+
+    @given(st.integers(min_value=0, max_value=65535))
+    def test_stable_hash_fits_32_bits(self, sport):
+        assert 0 <= key(sport).stable_hash() < 2**32
+
+
+class TestConstructors:
+    def test_data_packet(self):
+        pkt = Packet.data(key(), 1000, seq=3, now=77)
+        assert pkt.ptype is PacketType.DATA
+        assert pkt.priority == DATA_PRIORITY
+        assert pkt.ecn_capable and not pkt.ce_marked
+        assert pkt.seq == 3 and pkt.create_time == 77
+
+    def test_last_data_packet(self):
+        pkt = Packet.data(key(), 1000, seq=0, now=0, is_last=True)
+        assert pkt.is_last
+
+    def test_ack(self):
+        pkt = Packet.ack(key(), now=10, echo_time=5, acked_bytes=4000)
+        assert pkt.ptype is PacketType.ACK
+        assert pkt.priority == CONTROL_PRIORITY
+        assert pkt.echo_time == 5 and pkt.acked_bytes == 4000
+        assert not pkt.ecn_capable
+
+    def test_cnp(self):
+        pkt = Packet.cnp(key(), now=10)
+        assert pkt.ptype is PacketType.CNP
+        assert pkt.priority == CONTROL_PRIORITY
+
+    def test_pause_frame(self):
+        pkt = Packet.pfc(DATA_PRIORITY, quanta=0xFFFF, now=0)
+        assert pkt.is_pause and not pkt.is_resume
+        assert pkt.pfc_priority == DATA_PRIORITY
+
+    def test_resume_frame(self):
+        pkt = Packet.pfc(DATA_PRIORITY, quanta=0, now=0)
+        assert pkt.is_resume and not pkt.is_pause
+
+    def test_quanta_range_enforced(self):
+        with pytest.raises(ValueError):
+            Packet.pfc(3, quanta=0x10000, now=0)
+
+    def test_polling_packet(self):
+        pkt = Packet.polling(key(), PollingFlag.VICTIM_PATH, now=9)
+        assert pkt.ptype is PacketType.POLLING
+        assert pkt.polling_flag is PollingFlag.VICTIM_PATH
+        assert pkt.flow == key()
+
+    def test_polling_copy_changes_flag(self):
+        pkt = Packet.polling(key(), PollingFlag.VICTIM_PATH, now=9)
+        dup = pkt.copy_polling(PollingFlag.BOTH, now=10)
+        assert dup.polling_flag is PollingFlag.BOTH
+        assert dup.flow == pkt.flow
+
+    def test_repr_variants(self):
+        assert "PAUSE" in repr(Packet.pfc(3, 10, 0))
+        assert "RESUME" in repr(Packet.pfc(3, 0, 0))
+        assert "data" in repr(Packet.data(key(), 1000, 0, 0))
+        assert "POLLING" in repr(Packet.polling(key(), PollingFlag.BOTH, 0))
+
+
+class TestPollingFlags:
+    def test_table1_semantics(self):
+        assert not PollingFlag.USELESS.traces_victim_path
+        assert PollingFlag.VICTIM_PATH.traces_victim_path
+        assert not PollingFlag.VICTIM_PATH.traces_pfc
+        assert PollingFlag.PFC_CAUSALITY.traces_pfc
+        assert not PollingFlag.PFC_CAUSALITY.traces_victim_path
+        assert PollingFlag.BOTH.traces_victim_path and PollingFlag.BOTH.traces_pfc
+
+    def test_default_flag_is_victim_path(self):
+        # Table 1: 01 is the default.
+        assert PollingFlag.VICTIM_PATH.value == 0b01
+
+
+class TestPauseQuanta:
+    def test_known_value(self):
+        # 0xFFFF quanta * 512 bit-times at 100 Gbps ~ 335.5 us
+        ns = pause_quanta_to_ns(0xFFFF, gbps(100))
+        assert ns == pytest.approx(335_544, rel=0.01)
+
+    def test_zero_quanta_is_zero(self):
+        assert pause_quanta_to_ns(0, gbps(100)) == 0
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_monotone_in_quanta(self, q):
+        bw = gbps(25)
+        assert pause_quanta_to_ns(q, bw) <= pause_quanta_to_ns(q + 1, bw)

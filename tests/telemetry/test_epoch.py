@@ -1,0 +1,100 @@
+"""Epoch scheme tests: timestamp bit-slicing, wrap-around IDs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import EpochScheme, nearest_power_of_two_shift
+from repro.units import msec, usec
+
+
+class TestShiftSelection:
+    def test_1ms_maps_to_2_pow_20(self):
+        assert nearest_power_of_two_shift(msec(1)) == 20  # the paper's example
+
+    def test_100us_maps_to_2_pow_17(self):
+        assert nearest_power_of_two_shift(usec(100)) == 17
+
+    def test_2ms_maps_to_2_pow_21(self):
+        assert nearest_power_of_two_shift(msec(2)) == 21
+
+    def test_exact_powers(self):
+        for shift in (10, 17, 20, 25):
+            assert nearest_power_of_two_shift(1 << shift) == shift
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            nearest_power_of_two_shift(0)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_result_within_factor_sqrt2(self, size):
+        shift = nearest_power_of_two_shift(size)
+        assert (1 << shift) <= 2 * size
+        assert (1 << shift) >= size // 2
+
+
+class TestEpochScheme:
+    def test_default_matches_paper(self):
+        scheme = EpochScheme()
+        assert scheme.epoch_size_ns == 1 << 20  # ~1 ms
+        assert scheme.num_epochs == 4
+        assert scheme.window_ns == 4 << 20
+
+    def test_from_epoch_size(self):
+        scheme = EpochScheme.from_epoch_size(usec(100))
+        assert scheme.shift == 17
+
+    def test_epoch_index_is_bit_slice(self):
+        scheme = EpochScheme(shift=20, index_bits=2)
+        ts = (0b10_11 << 20) | 12345  # epoch number 0b1011
+        assert scheme.epoch_number(ts) == 0b1011
+        assert scheme.epoch_index(ts) == 0b11
+        assert scheme.epoch_id(ts) == 0b10
+
+    def test_paper_example_timestamp_21_20(self):
+        # Epoch size 1 ms -> timestamp[21:20] indexes 4 epochs.
+        scheme = EpochScheme(shift=20, index_bits=2, id_bits=8)
+        assert scheme.epoch_index(1 << 20) == 1
+        assert scheme.epoch_index(3 << 20) == 3
+        assert scheme.epoch_index(4 << 20) == 0  # wraps
+
+    def test_epoch_id_width(self):
+        scheme = EpochScheme(shift=10, index_bits=2, id_bits=8)
+        huge = ((1 << 30) - 1) << 12
+        assert 0 <= scheme.epoch_id(huge) < 256
+
+    def test_epoch_start_floor(self):
+        scheme = EpochScheme(shift=20)
+        assert scheme.epoch_start((5 << 20) + 999) == 5 << 20
+
+    def test_recent_epoch_numbers(self):
+        scheme = EpochScheme(shift=20, index_bits=2)
+        now = 10 << 20
+        assert scheme.recent_epoch_numbers(now, 3) == [10, 9, 8]
+
+    def test_recent_epochs_capped_at_ring_size(self):
+        scheme = EpochScheme(shift=20, index_bits=2)
+        assert len(scheme.recent_epoch_numbers(100 << 20, 99)) == 4
+
+    def test_recent_epochs_no_negatives(self):
+        scheme = EpochScheme(shift=20, index_bits=2)
+        assert scheme.recent_epoch_numbers(0, 4) == [0]
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_index_always_within_ring(self, ts):
+        scheme = EpochScheme(shift=17, index_bits=3)
+        assert 0 <= scheme.epoch_index(ts) < 8
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_same_epoch_same_index(self, ts):
+        scheme = EpochScheme()
+        start = scheme.epoch_start(ts)
+        assert scheme.epoch_index(start) == scheme.epoch_index(ts)
+        assert scheme.epoch_number(start) == scheme.epoch_number(ts)
+
+    @given(st.integers(min_value=0, max_value=2**46))
+    def test_consecutive_epochs_differ_in_index(self, ts):
+        scheme = EpochScheme()
+        a = scheme.epoch_index(ts)
+        b = scheme.epoch_index(ts + scheme.epoch_size_ns)
+        assert b == (a + 1) % scheme.num_epochs

@@ -1,0 +1,190 @@
+"""Hawkeye switch telemetry tests: flow tables, port counters, meters,
+PFC status registers, epoch rollover and eviction."""
+
+import pytest
+
+from repro.sim import DATA_PRIORITY, FlowKey, Network, Packet
+from repro.telemetry import (
+    EpochScheme,
+    HawkeyeDeployment,
+    HawkeyeSwitchTelemetry,
+    TelemetryConfig,
+)
+from repro.units import KB, msec, usec
+
+
+def run_tiny_flow(tiny_net, deployment=None, size=20 * KB):
+    dep = deployment or HawkeyeDeployment(tiny_net)
+    flow = tiny_net.make_flow("A", "B", size, usec(1))
+    tiny_net.start_flow(flow)
+    tiny_net.run(msec(1))
+    return dep, flow
+
+
+class TestFlowTable:
+    def test_records_flow_packets(self, tiny_net):
+        dep, flow = run_tiny_flow(tiny_net)
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        entries = rep.agg_flows()
+        egress = tiny_net.topology.attachment_of("B").port
+        entry = entries[(flow.key, egress)]
+        assert entry.pkt_count == 20
+        assert entry.byte_count == 20 * KB
+
+    def test_control_traffic_not_recorded(self, tiny_net):
+        dep, flow = run_tiny_flow(tiny_net)
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        # only the data flow (one direction) appears; ACKs do not
+        assert {k for (k, _p) in rep.agg_flows()} == {flow.key}
+
+    def test_collision_evicts_to_controller(self, tiny_net):
+        config = TelemetryConfig(flow_slots=1)  # every flow collides
+        dep = HawkeyeDeployment(tiny_net, config)
+        f1 = tiny_net.make_flow("A", "B", 10 * KB, usec(1), src_port=1)
+        f2 = tiny_net.make_flow("A", "B", 10 * KB, usec(1), src_port=2)
+        tiny_net.start_flow(f1)
+        tiny_net.start_flow(f2)
+        tiny_net.run(msec(1))
+        telem = dep.for_switch("SW")
+        assert telem.evictions > 0
+        # Both flows' full counts survive in the snapshot (evicted entries
+        # are merged back, §3.3: "stored at the controller").
+        rep = telem.snapshot(tiny_net.sim.now)
+        entries = rep.agg_flows()
+        total = sum(e.pkt_count for e in entries.values())
+        assert total == 20
+
+    def test_flow_paused_num_query(self, tiny_net):
+        dep = HawkeyeDeployment(tiny_net)
+        sw = tiny_net.switch("SW")
+        port = tiny_net.topology.attachment_of("B").port
+        sw.receive(Packet.pfc(DATA_PRIORITY, 0xFFFF, 0), port)
+        flow = tiny_net.make_flow("A", "B", 20 * KB, usec(1))
+        tiny_net.start_flow(flow)
+        tiny_net.run(usec(100))
+        telem = dep.for_switch("SW")
+        assert telem.flow_paused_num(flow.key, tiny_net.sim.now) > 0
+
+
+class TestPortTelemetry:
+    def test_port_counters_preaggregated(self, tiny_net):
+        dep, flow = run_tiny_flow(tiny_net)
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        egress = tiny_net.topology.attachment_of("B").port
+        ports = rep.agg_ports()
+        assert ports[egress].pkt_count == 20
+
+    def test_paused_packets_counted_per_port(self, tiny_net):
+        dep = HawkeyeDeployment(tiny_net)
+        sw = tiny_net.switch("SW")
+        port = tiny_net.topology.attachment_of("B").port
+        sw.receive(Packet.pfc(DATA_PRIORITY, 0xFFFF, 0), port)
+        flow = tiny_net.make_flow("A", "B", 20 * KB, usec(1))
+        tiny_net.start_flow(flow)
+        tiny_net.run(usec(100))
+        telem = dep.for_switch("SW")
+        assert telem.port_paused_num(port, tiny_net.sim.now) > 0
+
+
+class TestCausalityStructure:
+    def test_meter_records_port_pair_volume(self, tiny_net):
+        dep, flow = run_tiny_flow(tiny_net)
+        telem = dep.for_switch("SW")
+        ingress = tiny_net.topology.attachment_of("A").port
+        egress = tiny_net.topology.attachment_of("B").port
+        assert telem.meter_volume(ingress, egress, tiny_net.sim.now) == 20 * KB
+
+    def test_meter_zero_for_unused_pair(self, tiny_net):
+        dep, flow = run_tiny_flow(tiny_net)
+        telem = dep.for_switch("SW")
+        egress = tiny_net.topology.attachment_of("B").port
+        assert telem.meter_volume(egress, egress, tiny_net.sim.now) == 0
+
+    def test_port_status_register_tracks_pause(self, tiny_net):
+        dep = HawkeyeDeployment(tiny_net)
+        sw = tiny_net.switch("SW")
+        telem = dep.for_switch("SW")
+        port = tiny_net.topology.attachment_of("B").port
+        sw.receive(Packet.pfc(DATA_PRIORITY, 0xFFFF, 0), port)
+        assert telem.port_is_paused(port, tiny_net.sim.now)
+        assert telem.remaining_pause_ns(port, tiny_net.sim.now) > 0
+
+    def test_port_status_cleared_by_resume(self, tiny_net):
+        dep = HawkeyeDeployment(tiny_net)
+        sw = tiny_net.switch("SW")
+        telem = dep.for_switch("SW")
+        port = tiny_net.topology.attachment_of("B").port
+        sw.receive(Packet.pfc(DATA_PRIORITY, 0xFFFF, 0), port)
+        sw.receive(Packet.pfc(DATA_PRIORITY, 0, 0), port)
+        assert not telem.port_is_paused(port, tiny_net.sim.now + 1)
+
+
+class TestEpochRing:
+    def test_epochs_separate_traffic(self, tiny_net):
+        scheme = EpochScheme(shift=17, index_bits=2)  # ~131 us epochs
+        dep = HawkeyeDeployment(tiny_net, TelemetryConfig(scheme=scheme))
+        f1 = tiny_net.make_flow("A", "B", 10 * KB, usec(1), src_port=1)
+        f2 = tiny_net.make_flow("A", "B", 10 * KB, usec(200), src_port=2)
+        tiny_net.start_flow(f1)
+        tiny_net.start_flow(f2)
+        tiny_net.run(usec(300))
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        assert len(rep.epochs) == 2
+        per_epoch_flows = [{k for (k, _p) in e.flows} for e in rep.epochs]
+        assert per_epoch_flows[0] == {f1.key}
+        assert per_epoch_flows[1] == {f2.key}
+
+    def test_ring_wraparound_resets_old_epoch(self, tiny_net):
+        scheme = EpochScheme(shift=17, index_bits=1)  # ring of 2
+        dep = HawkeyeDeployment(tiny_net, TelemetryConfig(scheme=scheme))
+        f1 = tiny_net.make_flow("A", "B", 10 * KB, usec(1), src_port=1)
+        tiny_net.start_flow(f1)
+        tiny_net.run(usec(50))
+        # Two epochs later new traffic lands in f1's ring slot: the write
+        # with a newer epoch ID resets it (lazy hardware reset).
+        later = usec(1) + 2 * scheme.epoch_size_ns
+        f2 = tiny_net.make_flow("A", "B", 10 * KB, later, src_port=2)
+        tiny_net.start_flow(f2)
+        tiny_net.run(later + usec(100))
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        keys = {k for e in rep.epochs for (k, _p) in e.flows}
+        assert f1.key not in keys, "overwritten epoch must not resurface"
+        assert f2.key in keys
+
+    def test_frozen_network_epochs_stay_readable(self, tiny_net):
+        """Registers are reset on *write*, not by time passing: the last
+        traffic before a freeze (e.g. a forming deadlock) remains readable
+        long after its nominal window."""
+        scheme = EpochScheme(shift=17, index_bits=1)
+        dep = HawkeyeDeployment(tiny_net, TelemetryConfig(scheme=scheme))
+        f1 = tiny_net.make_flow("A", "B", 10 * KB, usec(1), src_port=1)
+        tiny_net.start_flow(f1)
+        tiny_net.run(usec(50))
+        # Silence for many epochs: nothing overwrites the slot.
+        tiny_net.run(usec(50) + 10 * scheme.epoch_size_ns)
+        rep = dep.for_switch("SW").snapshot(tiny_net.sim.now)
+        keys = {k for e in rep.epochs for (k, _p) in e.flows}
+        assert f1.key in keys
+
+    def test_snapshot_lookback_limits_epochs(self, tiny_net):
+        scheme = EpochScheme(shift=17, index_bits=2)
+        dep = HawkeyeDeployment(tiny_net, TelemetryConfig(scheme=scheme))
+        flow = tiny_net.make_flow("A", "B", 200 * KB, usec(1))
+        tiny_net.start_flow(flow)
+        tiny_net.run(usec(400))
+        telem = dep.for_switch("SW")
+        assert len(telem.snapshot(tiny_net.sim.now, lookback=1).epochs) <= 1
+
+
+class TestDeployment:
+    def test_partial_deployment(self, line3):
+        net = Network(line3)
+        dep = HawkeyeDeployment(net, switches=["SW1", "SW3"])
+        assert "SW1" in dep and "SW3" in dep and "SW2" not in dep
+        with pytest.raises(KeyError):
+            dep.for_switch("SW2")
+
+    def test_full_deployment_covers_all(self, line3):
+        net = Network(line3)
+        dep = HawkeyeDeployment(net)
+        assert all(name in dep for name in net.switches)

@@ -1,0 +1,42 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "incast-backpressure" in out
+        assert "pfc-storm" in out
+
+
+class TestRun:
+    def test_run_storm_correct(self, capsys):
+        rc = main(["run", "pfc-storm", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pfc-storm" in out
+        assert "CORRECT" in out
+
+    def test_run_with_baseline_system(self, capsys):
+        rc = main(["run", "pfc-storm", "--system", "spidermon"])
+        out = capsys.readouterr().out
+        assert rc != 0  # SpiderMon cannot diagnose a storm
+        assert "system   : spidermon" in out
+
+    def test_run_writes_dot(self, tmp_path, capsys):
+        dot = tmp_path / "graph.dot"
+        rc = main(["run", "incast-backpressure", "--dot", str(dot)])
+        assert rc == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_threshold_flag(self, capsys):
+        rc = main(["run", "normal-contention", "--threshold", "2.0"])
+        assert rc == 0

@@ -1,0 +1,75 @@
+"""Unit-helper tests: time, size and bandwidth conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTimeUnits:
+    def test_usec(self):
+        assert units.usec(1) == 1_000
+
+    def test_msec(self):
+        assert units.msec(1) == 1_000_000
+
+    def test_sec(self):
+        assert units.sec(1) == 1_000_000_000
+
+    def test_nsec_identity(self):
+        assert units.nsec(123) == 123
+
+    def test_fractional_usec_rounds(self):
+        assert units.usec(1.5) == 1_500
+
+    def test_constants_are_consistent(self):
+        assert units.SEC == 1000 * units.MSEC == 1_000_000 * units.USEC
+
+
+class TestSizeUnits:
+    def test_kilobytes(self):
+        assert units.kilobytes(2) == 2_000
+
+    def test_megabytes(self):
+        assert units.megabytes(3) == 3_000_000
+
+    def test_constants(self):
+        assert units.MB == 1000 * units.KB
+        assert units.GB == 1000 * units.MB
+
+
+class TestBandwidth:
+    def test_gbps_to_bytes_per_sec(self):
+        assert units.gbps(100) == pytest.approx(12.5e9)
+
+    def test_mbps(self):
+        assert units.mbps(8) == pytest.approx(1e6)
+
+    def test_serialization_delay_1kb_at_100g(self):
+        # 1000 B at 12.5 GB/s = 80 ns
+        assert units.serialization_delay_ns(1000, units.gbps(100)) == 80
+
+    def test_serialization_delay_minimum_1ns(self):
+        assert units.serialization_delay_ns(1, units.gbps(400)) >= 1
+
+    def test_serialization_delay_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.serialization_delay_ns(1000, 0)
+
+    def test_bytes_per_ns(self):
+        assert units.bytes_per_ns(units.gbps(100)) == pytest.approx(12.5)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_serialization_delay_monotone_in_size(self, size):
+        bw = units.gbps(100)
+        assert units.serialization_delay_ns(size, bw) <= units.serialization_delay_ns(
+            size + 1000, bw
+        )
+
+    @given(
+        st.integers(min_value=64, max_value=10**7),
+        st.floats(min_value=1e8, max_value=1e11, allow_nan=False),
+    )
+    def test_serialization_delay_positive(self, size, bw):
+        assert units.serialization_delay_ns(size, bw) >= 1

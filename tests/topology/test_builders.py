@@ -1,0 +1,92 @@
+"""Topology builder tests: sizes, wiring and addressing."""
+
+import pytest
+
+from repro.topology import (
+    build_dumbbell,
+    build_fat_tree,
+    build_leaf_spine,
+    build_line,
+    build_ring,
+)
+
+
+class TestFatTree:
+    def test_k4_has_20_switches(self, fat_tree):
+        assert len(fat_tree.switches) == 20  # the paper's topology (§4.1)
+
+    def test_k4_has_16_hosts(self, fat_tree):
+        assert len(fat_tree.hosts) == 16
+
+    def test_k4_link_count(self, fat_tree):
+        # edge-agg: 4 pods * 2*2; agg-core: 4 pods * 2*2; hosts: 16
+        assert len(fat_tree.links) == 16 + 16 + 16
+
+    def test_core_count_scales(self):
+        topo = build_fat_tree(k=6, hosts_per_edge=1)
+        assert len([s for s in topo.switches if s.name.startswith("C")]) == 9
+
+    def test_host_ip_convention(self, fat_tree):
+        assert fat_tree.host_ip("H2_1_0") == "10.2.1.2"
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(k=3)
+
+    def test_every_edge_connects_all_pod_aggs(self, fat_tree):
+        neighbors = {ref.node for _, ref in fat_tree.neighbors("E1_0")}
+        assert {"A1_0", "A1_1"} <= neighbors
+
+    def test_agg_connects_to_core_group(self, fat_tree):
+        neighbors = {ref.node for _, ref in fat_tree.neighbors("A0_1")}
+        assert {"C2", "C3"} <= neighbors
+
+
+class TestLeafSpine:
+    def test_counts(self):
+        topo = build_leaf_spine(leaves=4, spines=2, hosts_per_leaf=3)
+        assert len(topo.switches) == 6
+        assert len(topo.hosts) == 12
+        assert len(topo.links) == 4 * 2 + 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_leaf_spine(leaves=0)
+
+
+class TestDumbbell:
+    def test_shape(self, dumbbell):
+        assert len(dumbbell.switches) == 2
+        assert len(dumbbell.hosts) == 4
+
+    def test_sides_connected(self, dumbbell):
+        assert dumbbell.attachment_of("HL0").node == "SW1"
+        assert dumbbell.attachment_of("HR0").node == "SW2"
+
+
+class TestLine:
+    def test_chain_wiring(self, line3):
+        assert {r.node for _, r in line3.neighbors("SW2")} >= {"SW1", "SW3"}
+
+    def test_host_count(self, line3):
+        assert len(line3.hosts) == 6
+
+    def test_single_switch(self):
+        topo = build_line(num_switches=1, hosts_per_switch=2)
+        assert len(topo.switches) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_line(num_switches=0)
+
+
+class TestRing:
+    def test_ring_closes(self, ring4):
+        assert {r.node for _, r in ring4.neighbors("SW1")} >= {"SW2", "SW4"}
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            build_ring(num_switches=2)
+
+    def test_ring_link_count(self, ring4):
+        assert len(ring4.links) == 4 + 8  # ring links + host links

@@ -1,0 +1,89 @@
+"""CBD static analysis tests: deadlock-freedom checking on routing state."""
+
+import pytest
+
+from repro.topology import (
+    RoutingTable,
+    build_fat_tree,
+    build_line,
+    build_ring,
+    buffer_dependency_graph,
+    check_deadlock_free,
+    find_cbd_cycles,
+    has_cbd,
+    make_ring_cbd_routes,
+)
+
+
+def ring_with_cbd():
+    topo = build_ring(num_switches=4, hosts_per_switch=2)
+    routing = RoutingTable(topo)
+    ring = ["SW1", "SW2", "SW3", "SW4"]
+    dst_ips = {
+        sw: [topo.host_ip(f"H{i + 1}_{j}") for j in range(2)]
+        for i, sw in enumerate(ring)
+    }
+    make_ring_cbd_routes(routing, ring, dst_ips)
+    return topo, routing
+
+
+class TestDeadlockFreedom:
+    def test_fat_tree_shortest_paths_are_deadlock_free(self):
+        """Up-down routing on a Clos fabric can never deadlock."""
+        topo = build_fat_tree(k=4)
+        assert not has_cbd(topo, RoutingTable(topo))
+
+    def test_line_topology_deadlock_free(self):
+        topo = build_line(num_switches=4, hosts_per_switch=2)
+        assert not has_cbd(topo, RoutingTable(topo))
+
+    def test_ring_topology_inherently_cbd_prone(self):
+        """Even shortest-path ECMP on a 4-ring admits a CBD: destinations
+        two hops away are reachable both ways, and the union of equal-cost
+        choices closes a dependency cycle.  (This is why rings need careful
+        routing restrictions in lossless networks.)"""
+        topo = build_ring(num_switches=4, hosts_per_switch=2)
+        assert has_cbd(topo, RoutingTable(topo))
+
+    def test_clockwise_misconfiguration_creates_cbd(self):
+        topo, routing = ring_with_cbd()
+        cycles = check_deadlock_free(topo, routing)
+        assert cycles, "forced clockwise routing must create a CBD"
+        ring_cycle = max(cycles, key=len)
+        assert {p.node for p in ring_cycle} == {"SW1", "SW2", "SW3", "SW4"}
+
+    def test_cbd_matches_runtime_deadlock_loop(self):
+        """The statically predicted cycle is the loop Hawkeye later finds."""
+        from repro.workloads import in_loop_deadlock_scenario
+
+        scenario = in_loop_deadlock_scenario(seed=1)
+        net = scenario.network
+        cycles = check_deadlock_free(net.topology, net.routing)
+        predicted = {frozenset(p for p in c) for c in cycles}
+        truth_loop = frozenset(scenario.truth.loop_ports)
+        assert truth_loop in predicted
+
+
+class TestDependencyGraph:
+    def test_dependencies_point_downstream(self):
+        topo, routing = ring_with_cbd()
+        deps = buffer_dependency_graph(topo, routing)
+        for src, dsts in deps.items():
+            assert topo.node(src.node).is_switch
+            for dst in dsts:
+                # The source egress feeds the switch owning the dst egress.
+                assert topo.peer_port(src).node == dst.node
+
+    def test_host_ports_are_terminal(self):
+        topo, routing = ring_with_cbd()
+        deps = buffer_dependency_graph(topo, routing)
+        for src, dsts in deps.items():
+            for dst in dsts:
+                peer = topo.peer_port(dst)
+                # Host-facing egress ports may appear as targets but never
+                # as dependency sources.
+                if topo.node(peer.node).is_host:
+                    assert dst not in deps or not deps[dst]
+
+    def test_empty_graph_no_cycles(self):
+        assert find_cbd_cycles({}) == []

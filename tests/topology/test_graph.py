@@ -1,0 +1,144 @@
+"""Topology graph model tests."""
+
+import pytest
+
+from repro.topology import NodeKind, PortRef, Topology, TopologyError
+from repro.units import gbps, usec
+
+
+def make_pair():
+    topo = Topology("pair")
+    topo.add_switch("S1")
+    topo.add_switch("S2")
+    link = topo.add_link("S1", "S2", gbps(100), usec(2))
+    return topo, link
+
+
+class TestPortRef:
+    def test_str_format_matches_paper(self):
+        assert str(PortRef("SW1", 1)) == "SW1.P1"
+
+    def test_ordering_and_hash(self):
+        a, b = PortRef("A", 1), PortRef("A", 2)
+        assert a < b
+        assert len({a, b, PortRef("A", 1)}) == 2
+
+
+class TestNodes:
+    def test_switch_kind(self):
+        topo = Topology()
+        node = topo.add_switch("S")
+        assert node.is_switch and not node.is_host
+        assert node.kind is NodeKind.SWITCH
+
+    def test_host_gets_default_ip(self):
+        topo = Topology()
+        topo.add_host("H")
+        assert topo.host_ip("H") == "10.0.0.1"
+
+    def test_host_explicit_ip(self):
+        topo = Topology()
+        topo.add_host("H", ip="10.9.9.9")
+        assert topo.host_ip("H") == "10.9.9.9"
+        assert topo.host_of_ip("10.9.9.9") == "H"
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("X")
+        with pytest.raises(TopologyError):
+            topo.add_host("X")
+
+    def test_duplicate_ip_rejected(self):
+        topo = Topology()
+        topo.add_host("A", ip="10.0.0.1")
+        with pytest.raises(TopologyError):
+            topo.add_host("B", ip="10.0.0.1")
+
+    def test_unknown_node_lookup(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.node("nope")
+
+    def test_unknown_ip_lookup(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.host_of_ip("1.2.3.4")
+
+
+class TestLinks:
+    def test_auto_port_allocation(self):
+        topo, link = make_pair()
+        assert link.a == PortRef("S1", 1)
+        assert link.b == PortRef("S2", 1)
+
+    def test_explicit_ports(self):
+        topo = Topology()
+        topo.add_switch("S1")
+        topo.add_switch("S2")
+        link = topo.add_link("S1", "S2", gbps(100), usec(2), a_port=7, b_port=9)
+        assert link.a.port == 7 and link.b.port == 9
+
+    def test_port_reuse_rejected(self):
+        topo, _ = make_pair()
+        with pytest.raises(TopologyError):
+            topo.add_link("S1", "S2", gbps(100), usec(2), a_port=1)
+
+    def test_peer_port(self):
+        topo, link = make_pair()
+        assert topo.peer_port(link.a) == link.b
+        assert topo.peer_port(link.b) == link.a
+
+    def test_other_end_rejects_foreign_port(self):
+        topo, link = make_pair()
+        with pytest.raises(ValueError):
+            link.other_end(PortRef("S9", 1))
+
+    def test_link_at_missing(self):
+        topo, _ = make_pair()
+        with pytest.raises(TopologyError):
+            topo.link_at(PortRef("S1", 99))
+
+    def test_has_link_at(self):
+        topo, link = make_pair()
+        assert topo.has_link_at(link.a)
+        assert not topo.has_link_at(PortRef("S1", 42))
+
+    def test_neighbors(self):
+        topo, link = make_pair()
+        neighbors = dict(topo.neighbors("S1"))
+        assert neighbors == {1: PortRef("S2", 1)}
+
+
+class TestHostAttachment:
+    def test_host_port_and_attachment(self):
+        topo = Topology()
+        topo.add_switch("S")
+        topo.add_host("H")
+        topo.add_link("H", "S", gbps(100), usec(1))
+        assert topo.host_port("H") == PortRef("H", 1)
+        assert topo.attachment_of("H") == PortRef("S", 1)
+
+    def test_host_port_rejects_switch(self):
+        topo, _ = make_pair()
+        with pytest.raises(TopologyError):
+            topo.host_port("S1")
+
+    def test_unconnected_host_rejected(self):
+        topo = Topology()
+        topo.add_host("H")
+        with pytest.raises(TopologyError):
+            topo.host_port("H")
+
+
+class TestAccessors:
+    def test_switches_and_hosts_lists(self):
+        topo = Topology()
+        topo.add_switch("S")
+        topo.add_host("H")
+        assert [n.name for n in topo.switches] == ["S"]
+        assert [n.name for n in topo.hosts] == ["H"]
+
+    def test_str_summary(self, fat_tree):
+        text = str(fat_tree)
+        assert "20 switches" in text
+        assert "16 hosts" in text

@@ -1,0 +1,163 @@
+"""Routing tests: ECMP correctness, determinism, overrides, CBD creation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    PortRef,
+    RoutingError,
+    RoutingTable,
+    build_fat_tree,
+    build_line,
+    build_ring,
+    make_ring_cbd_routes,
+)
+
+
+@pytest.fixture
+def ft_routing(fat_tree):
+    return RoutingTable(fat_tree)
+
+
+class TestShortestPaths:
+    def test_intra_edge_path_is_one_switch(self, fat_tree, ft_routing):
+        path = ft_routing.switch_path("H0_0_0", fat_tree.host_ip("H0_0_1"), "k")
+        assert path == ["E0_0"]
+
+    def test_intra_pod_path_is_three_switches(self, fat_tree, ft_routing):
+        path = ft_routing.switch_path("H0_0_0", fat_tree.host_ip("H0_1_0"), "k")
+        assert len(path) == 3
+        assert path[0] == "E0_0" and path[-1] == "E0_1"
+        assert path[1].startswith("A0_")
+
+    def test_inter_pod_path_is_five_switches(self, fat_tree, ft_routing):
+        path = ft_routing.switch_path("H0_0_0", fat_tree.host_ip("H3_1_1"), "k")
+        assert len(path) == 5
+        assert path[2].startswith("C")
+
+    def test_flow_path_starts_at_host_port(self, fat_tree, ft_routing):
+        path = ft_routing.flow_path("H0_0_0", fat_tree.host_ip("H3_1_1"), "k")
+        assert path[0] == fat_tree.host_port("H0_0_0")
+
+    def test_flow_path_ends_at_destination_tor(self, fat_tree, ft_routing):
+        dst_ip = fat_tree.host_ip("H3_1_1")
+        path = ft_routing.flow_path("H0_0_0", dst_ip, "k")
+        assert path[-1] == fat_tree.attachment_of("H3_1_1")
+
+    def test_no_route_raises(self, fat_tree, ft_routing):
+        with pytest.raises(RoutingError):
+            ft_routing.ecmp_ports("E0_0", "1.2.3.4")
+
+
+class TestEcmp:
+    def test_ecmp_set_has_two_uplinks(self, fat_tree, ft_routing):
+        ports = ft_routing.ecmp_ports("E0_0", fat_tree.host_ip("H3_0_0"))
+        assert len(ports) == 2  # two aggregation switches per pod
+
+    def test_selection_is_deterministic(self, fat_tree, ft_routing):
+        dst = fat_tree.host_ip("H3_0_0")
+        picks = {ft_routing.select_port("E0_0", dst, "flowX") for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_selection_spreads_flows(self, fat_tree, ft_routing):
+        dst = fat_tree.host_ip("H3_0_0")
+        picks = {
+            ft_routing.select_port("E0_0", dst, f"flow{i}") for i in range(64)
+        }
+        assert len(picks) == 2  # both uplinks get used across many flows
+
+    def test_paths_consistent_between_calls(self, fat_tree, ft_routing):
+        dst = fat_tree.host_ip("H2_1_1")
+        p1 = ft_routing.flow_path("H0_0_0", dst, ("a", 1))
+        p2 = ft_routing.flow_path("H0_0_0", dst, ("a", 1))
+        assert p1 == p2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_any_flow_key_routes_successfully(self, key):
+        topo = build_fat_tree(k=4)
+        routing = RoutingTable(topo)
+        path = routing.switch_path("H0_0_0", topo.host_ip("H3_1_1"), key)
+        assert 1 <= len(path) <= 5
+
+
+class TestStaticOverrides:
+    def test_override_wins(self, line3):
+        routing = RoutingTable(line3)
+        dst = line3.host_ip("H3_0")
+        natural = routing.ecmp_ports("SW1", dst)
+        # Force toward a host port instead (nonsensical but allowed).
+        other = next(p for p, r in line3.neighbors("SW1") if r.node == "H1_0")
+        routing.set_static_route("SW1", dst, other)
+        assert routing.ecmp_ports("SW1", dst) == [other]
+        routing.clear_static_route("SW1", dst)
+        assert routing.ecmp_ports("SW1", dst) == natural
+
+    def test_override_requires_switch(self, line3):
+        routing = RoutingTable(line3)
+        with pytest.raises(RoutingError):
+            routing.set_static_route("H1_0", "10.3.0.2", 1)
+
+    def test_override_requires_existing_port(self, line3):
+        routing = RoutingTable(line3)
+        with pytest.raises(RoutingError):
+            routing.set_static_route("SW1", "10.3.0.2", 99)
+
+    def test_loop_detection_raises(self, line3):
+        routing = RoutingTable(line3)
+        dst = line3.host_ip("H3_0")
+        # SW1 -> SW2 and SW2 -> SW1 is a routing loop.
+        p12 = next(p for p, r in line3.neighbors("SW1") if r.node == "SW2")
+        p21 = next(p for p, r in line3.neighbors("SW2") if r.node == "SW1")
+        routing.set_static_route("SW1", dst, p12)
+        routing.set_static_route("SW2", dst, p21)
+        with pytest.raises(RoutingError):
+            routing.flow_path("H1_0", dst, "k")
+
+
+class TestRingCbd:
+    def test_clockwise_routes(self, ring4):
+        routing = RoutingTable(ring4)
+        ring = ["SW1", "SW2", "SW3", "SW4"]
+        dst_ips = {
+            sw: [ring4.host_ip(f"H{i + 1}_{j}") for j in range(2)]
+            for i, sw in enumerate(ring)
+        }
+        make_ring_cbd_routes(routing, ring, dst_ips)
+        # H1 -> H3 must go the clockwise way: SW1, SW2, SW3.
+        path = routing.switch_path("H1_0", ring4.host_ip("H3_0"), "k")
+        assert path == ["SW1", "SW2", "SW3"]
+        # ... even though counterclockwise would be equally short.
+        back = routing.switch_path("H3_0", ring4.host_ip("H1_0"), "k")
+        assert back == ["SW3", "SW4", "SW1"]
+
+    def test_cbd_requires_three_switches(self, ring4):
+        routing = RoutingTable(ring4)
+        with pytest.raises(RoutingError):
+            make_ring_cbd_routes(routing, ["SW1", "SW2"], {})
+
+    def test_cbd_requires_adjacent_ring(self, ring4):
+        routing = RoutingTable(ring4)
+        with pytest.raises(RoutingError):
+            make_ring_cbd_routes(
+                routing, ["SW1", "SW3", "SW2", "SW4"], {}
+            )  # SW1 has no direct link to SW3
+
+
+class TestPathProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+    def test_paths_are_physically_connected(self, pod_a, pod_b):
+        topo = build_fat_tree(k=4)
+        routing = RoutingTable(topo)
+        src, dst = f"H{pod_a}_0_0", f"H{pod_b}_1_1"
+        if src == dst:
+            return
+        path = routing.flow_path(src, topo.host_ip(dst), "k")
+        # Each egress port's peer must be the node owning the next egress.
+        current = topo.peer_port(path[0]).node
+        for ref in path[1:]:
+            assert ref.node == current
+            current = topo.peer_port(ref).node
+        assert current == dst

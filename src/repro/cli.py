@@ -48,6 +48,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="detection threshold as a multiple of base RTT")
     run.add_argument("--dot", metavar="FILE",
                      help="write the provenance graph as Graphviz DOT")
+    run.add_argument("--perf-json", metavar="FILE",
+                     help="write wall-clock/event-loop stats as JSON")
 
     sweep = sub.add_parser("sweep", help="grid-sweep parameters over scenarios")
     sweep.add_argument("scenarios", nargs="+", choices=sorted(SCENARIO_BUILDERS))
@@ -58,6 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--thresholds", nargs="+", type=float, default=[3.0])
     sweep.add_argument("--seeds", type=int, default=2,
                        help="traces per grid cell (default 2)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default 1 = serial)")
     sweep.add_argument("--csv", metavar="FILE", help="write results as CSV")
     return parser
 
@@ -102,6 +106,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as fh:
             fh.write(outcome.annotated.graph.to_dot())
         print(f"provenance graph written to {args.dot}")
+
+    if args.perf_json and result.perf is not None:
+        from .experiments.perfstats import write_bench_json
+
+        write_bench_json(args.perf_json, {"runs": [result.perf.to_dict()]})
+        print(f"perf stats written to {args.perf_json} "
+              f"({result.perf.events_per_sec:,.0f} events/s, "
+              f"peak queue {result.perf.peak_pending_events})")
     return 0 if verdict else 2
 
 
@@ -115,13 +127,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         epoch_sizes_ns=[usec(e) for e in args.epochs_us],
         thresholds=args.thresholds,
     )
-    print(f"sweeping {len(points)} cells x {args.seeds} seeds ...")
+    jobs = max(1, args.jobs)
+    suffix = f" across {jobs} workers" if jobs > 1 else ""
+    print(f"sweeping {len(points)} cells x {args.seeds} seeds{suffix} ...")
     results = run_sweep(
         points,
         builders,
         seeds=range(1, args.seeds + 1),
         progress=lambda p: print(f"  done: {p.scenario} / {p.system.value} / "
                                  f"epoch={p.epoch_size_ns}ns / thr={p.threshold}"),
+        jobs=jobs,
     )
     header = f"{'scenario':24s} {'system':13s} {'epoch':>9s} {'thr':>5s} {'prec':>6s} {'rec':>6s}"
     print("\n" + header)

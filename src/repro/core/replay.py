@@ -27,6 +27,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..sim.packet import FlowKey
 from ..telemetry.records import FlowEntry
 
+try:  # optional acceleration; the pure-Python path below is authoritative
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
+# Below this sequence length the numpy setup cost outweighs the win.
+_VECTORIZE_MIN_PACKETS = 64
+
 
 def replay_queue(
     entries: Sequence[FlowEntry],
@@ -83,6 +91,25 @@ def contribution(
     sequence = replay_queue(live, window_ns, counts=counts)
     pkt_num = {e.key: counts[e.key] for e in live}
 
+    if _np is not None and len(sequence) >= _VECTORIZE_MIN_PACKETS:
+        incoming, outgoing = _wait_weights_numpy(live, sequence, depth, pkt_num)
+    else:
+        incoming, outgoing = _wait_weights_python(live, sequence, depth, pkt_num)
+
+    result = {key: incoming[key] - outgoing[key] for key in incoming}
+    for entry in entries:
+        if entry.pkt_count > 0 and entry.key not in result:
+            result[entry.key] = 0.0  # fully paused: no contention evidence
+    return result
+
+
+def _wait_weights_python(
+    live: Sequence[FlowEntry],
+    sequence: List[Tuple[int, FlowKey]],
+    depth: Dict[FlowKey, int],
+    pkt_num: Dict[FlowKey, int],
+) -> Tuple[Dict[FlowKey, float], Dict[FlowKey, float]]:
+    """Reference implementation: walk the replayed sequence packet by packet."""
     # W[f_i][f_j]: total f_j packets found ahead of f_i packets.
     wait_counts: Dict[FlowKey, Dict[FlowKey, int]] = {e.key: {} for e in live}
     history: List[FlowKey] = []
@@ -94,7 +121,7 @@ def contribution(
                 row[other] = row.get(other, 0) + 1
         history.append(key)
 
-    # Normalize to per-packet averages and take incoming minus outgoing.
+    # Normalize to per-packet averages.
     incoming: Dict[FlowKey, float] = {e.key: 0.0 for e in live}
     outgoing: Dict[FlowKey, float] = {e.key: 0.0 for e in live}
     for waiter, row in wait_counts.items():
@@ -103,9 +130,49 @@ def contribution(
             w = count / n
             outgoing[waiter] += w
             incoming[waited_on] += w
+    return incoming, outgoing
 
-    result = {key: incoming[key] - outgoing[key] for key in incoming}
-    for entry in entries:
-        if entry.pkt_count > 0 and entry.key not in result:
-            result[entry.key] = 0.0  # fully paused: no contention evidence
-    return result
+
+def _wait_weights_numpy(
+    live: Sequence[FlowEntry],
+    sequence: List[Tuple[int, FlowKey]],
+    depth: Dict[FlowKey, int],
+    pkt_num: Dict[FlowKey, int],
+) -> Tuple[Dict[FlowKey, float], Dict[FlowKey, float]]:
+    """Prefix-count formulation of the sequence walk.
+
+    With ``prefix[i, g]`` = packets of flow ``g`` among the first ``i``
+    enqueues, the packets of ``g`` ahead of the waiter at position ``idx``
+    (look-back ``d``) are ``prefix[idx, g] - prefix[idx - d, g]``; summing
+    over one flow's packet positions yields its whole wait-count row at
+    once.  Counts are exact integers — only the float normalization order
+    differs from the reference walk.
+    """
+    keys = [e.key for e in live]
+    index = {k: i for i, k in enumerate(keys)}
+    n_pkts = len(sequence)
+    n_flows = len(keys)
+    seq_ids = _np.fromiter(
+        (index[k] for _, k in sequence), dtype=_np.intp, count=n_pkts
+    )
+    onehot = _np.zeros((n_pkts, n_flows), dtype=_np.int64)
+    onehot[_np.arange(n_pkts), seq_ids] = 1
+    prefix = _np.zeros((n_pkts + 1, n_flows), dtype=_np.int64)
+    _np.cumsum(onehot, axis=0, out=prefix[1:])
+
+    wait = _np.zeros((n_flows, n_flows), dtype=_np.int64)
+    for f, key in enumerate(keys):
+        d = depth.get(key, 0)
+        if d <= 0:
+            continue
+        positions = _np.flatnonzero(seq_ids == f)
+        starts = positions - _np.minimum(d, positions)
+        wait[f] = prefix[positions].sum(axis=0) - prefix[starts].sum(axis=0)
+
+    per_pkt = _np.array([pkt_num[k] for k in keys], dtype=_np.float64)
+    norm = wait / per_pkt[:, None]
+    outgoing_arr = norm.sum(axis=1)
+    incoming_arr = norm.sum(axis=0)
+    incoming = {k: float(incoming_arr[i]) for i, k in enumerate(keys)}
+    outgoing = {k: float(outgoing_arr[i]) for i, k in enumerate(keys)}
+    return incoming, outgoing

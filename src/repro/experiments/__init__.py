@@ -8,13 +8,23 @@ from .hardware import (
     total_collection_time_ms,
 )
 from .metrics import AccuracyCounter, ScoreConfig, diagnosis_correct
+from .perfstats import (
+    BENCH_PERF_FILENAME,
+    PerfStats,
+    load_bench_json,
+    write_bench_json,
+)
 from .runner import (
     RunConfig,
     RunResult,
+    RunSummary,
+    ScenarioSpec,
     VictimOutcome,
     causal_switches_of,
     run_scenario,
+    run_scenarios_parallel,
     select_reports,
+    summarize_run,
 )
 
 __all__ = [
@@ -26,12 +36,20 @@ __all__ = [
     "AccuracyCounter",
     "ScoreConfig",
     "diagnosis_correct",
+    "BENCH_PERF_FILENAME",
+    "PerfStats",
+    "load_bench_json",
+    "write_bench_json",
     "RunConfig",
     "RunResult",
+    "RunSummary",
+    "ScenarioSpec",
     "VictimOutcome",
     "causal_switches_of",
     "run_scenario",
+    "run_scenarios_parallel",
     "select_reports",
+    "summarize_run",
 ]
 
 from .analyzer import (  # noqa: E402  (appended exports)

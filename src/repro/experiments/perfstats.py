@@ -1,0 +1,85 @@
+"""Performance accounting for scenario runs.
+
+Every :func:`repro.experiments.run_scenario` call times the simulation and
+snapshots the engine's event-loop counters into a :class:`PerfStats`
+record: events executed, events per wall-clock second, peak event-queue
+depth, purged (cancelled) entries and compaction sweeps.  The benchmark
+suite aggregates these into ``BENCH_perf.json`` so optimization work has
+a before/after paper trail.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+BENCH_PERF_FILENAME = "BENCH_perf.json"
+
+
+@dataclass
+class PerfStats:
+    """Wall-clock and event-loop statistics for one scenario run."""
+
+    scenario: str
+    wall_s: float
+    events_run: int
+    events_per_sec: float
+    peak_pending_events: int
+    events_purged: int = 0
+    compactions: int = 0
+
+    @classmethod
+    def from_run(cls, scenario_name: str, sim: Any, wall_s: float) -> "PerfStats":
+        """Snapshot a :class:`~repro.sim.engine.Simulator`'s counters."""
+        events = sim.events_run
+        return cls(
+            scenario=scenario_name,
+            wall_s=wall_s,
+            events_run=events,
+            events_per_sec=events / wall_s if wall_s > 0 else 0.0,
+            peak_pending_events=sim.max_pending_entries,
+            events_purged=sim.events_purged,
+            compactions=sim.compactions,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PerfStats":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+
+def environment_info() -> Dict[str, str]:
+    """The platform facts a perf number is meaningless without."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def write_bench_json(
+    path: Union[str, Path], payload: Dict[str, Any]
+) -> Path:
+    """Write a benchmark payload (adds environment metadata); returns path."""
+    path = Path(path)
+    document = {"environment": environment_info(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench_json(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read a benchmark payload; ``None`` if absent or unparsable."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -4,12 +4,22 @@ and every baseline system (§4).
 One :func:`run_scenario` call takes a freshly built scenario, attaches the
 system under test, runs the simulator, then produces per-victim diagnoses
 plus the overhead/coverage accounting the evaluation figures need.
+
+:func:`run_scenarios_parallel` fans independent scenario runs out over a
+process pool.  Scenarios are rebuilt inside each worker from a
+:class:`ScenarioSpec` (a live scenario holds scheduled closures and cannot
+cross a process boundary) and reduced to a picklable :class:`RunSummary`;
+because every run is seeded through its spec and the simulator is
+deterministic, ``jobs=N`` produces byte-identical summaries to ``jobs=1``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..baselines.systems import (
     SystemKind,
@@ -29,6 +39,8 @@ from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
 from ..telemetry.snapshot import SwitchReport
 from ..units import usec
 from ..workloads.scenario import Scenario
+from .metrics import diagnosis_correct
+from .perfstats import PerfStats
 
 
 @dataclass
@@ -71,6 +83,7 @@ class RunResult:
     collections: int
     events_run: int
     data_pkt_hops: int
+    perf: Optional[PerfStats] = None
 
     def primary_outcome(self) -> Optional[VictimOutcome]:
         """The earliest-complaining victim's outcome (the paper diagnoses
@@ -144,6 +157,7 @@ def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:
 
 def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunResult:
     """Attach the system under test, run, and diagnose every victim."""
+    wall_start = time.perf_counter()
     config = config if config is not None else RunConfig()
     kind = config.system
     net = scenario.network
@@ -249,6 +263,10 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     for victim in scenario.victims:
         causal |= causal_switches_of(scenario, victim.key)
 
+    perf = PerfStats.from_run(
+        scenario.name, net.sim, time.perf_counter() - wall_start
+    )
+
     return RunResult(
         scenario=scenario,
         config=config,
@@ -261,4 +279,109 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         collections=collector.stats.collections,
         events_run=net.sim.events_run,
         data_pkt_hops=data_pkt_hops,
+        perf=perf,
     )
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A rebuildable reference to a scenario: builder name + seed.
+
+    Workers receive specs instead of scenarios because a built scenario
+    holds a simulator with scheduled closures and is not picklable; the
+    builders in :data:`repro.workloads.SCENARIO_BUILDERS` are deterministic
+    functions of their seed, so rebuilding is exact.
+    """
+
+    builder: str
+    seed: int = 1
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label else f"{self.builder}[seed={self.seed}]"
+
+    def build(self) -> Scenario:
+        from ..workloads import SCENARIO_BUILDERS  # deferred: import cycle
+
+        return SCENARIO_BUILDERS[self.builder](seed=self.seed)
+
+
+@dataclass
+class RunSummary:
+    """The picklable reduction of a :class:`RunResult`.
+
+    Carries everything the experiment figures and the determinism checks
+    compare; drops the live network/scenario objects that cannot cross a
+    process boundary.
+    """
+
+    spec: ScenarioSpec
+    diagnosis_text: Optional[str]
+    correct: bool
+    causal_coverage: float
+    events_run: int
+    processing_bytes: int
+    bandwidth_bytes: int
+    polling_packets: int
+    collections: int
+    perf: Optional[PerfStats] = None
+
+
+def summarize_run(spec: ScenarioSpec, scenario: Scenario, result: RunResult) -> RunSummary:
+    """Reduce a completed run to its picklable summary."""
+    diagnosis = result.diagnosis()
+    return RunSummary(
+        spec=spec,
+        diagnosis_text=diagnosis.describe() if diagnosis is not None else None,
+        correct=diagnosis_correct(diagnosis, scenario.truth),
+        causal_coverage=result.causal_coverage,
+        events_run=result.events_run,
+        processing_bytes=result.processing_bytes,
+        bandwidth_bytes=result.bandwidth_bytes,
+        polling_packets=result.polling_packets,
+        collections=result.collections,
+        perf=result.perf,
+    )
+
+
+def _run_spec_worker(item: Tuple[ScenarioSpec, RunConfig]) -> RunSummary:
+    """Process-pool entry point: build, run, summarize one spec."""
+    spec, config = item
+    scenario = spec.build()
+    result = run_scenario(scenario, config)
+    return summarize_run(spec, scenario, result)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork``: workers inherit the parent's interpreter state
+    (including the hash salt), so any hash-order-dependent iteration
+    behaves exactly as in-process execution."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_scenarios_parallel(
+    specs: Iterable[ScenarioSpec],
+    config: Optional[RunConfig] = None,
+    jobs: int = 1,
+) -> List[RunSummary]:
+    """Run independent scenarios across a process pool.
+
+    Results come back in spec order regardless of completion order, and
+    are identical to ``jobs=1`` (each run is fully determined by its spec's
+    seed).  ``jobs=1`` runs in-process with no pool overhead.
+    """
+    config = config if config is not None else RunConfig()
+    spec_list = list(specs)
+    items = [(spec, config) for spec in spec_list]
+    if jobs <= 1 or len(spec_list) <= 1:
+        return [_run_spec_worker(item) for item in items]
+    workers = min(jobs, len(spec_list))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(_run_spec_worker, items))

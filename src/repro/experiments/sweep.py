@@ -13,10 +13,12 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple
 
+from concurrent.futures import ProcessPoolExecutor
+
 from ..baselines.systems import SystemKind
 from ..workloads.scenario import Scenario
 from .metrics import AccuracyCounter, ScoreConfig
-from .runner import RunConfig, run_scenario
+from .runner import RunConfig, _pool_context, run_scenario
 
 ScenarioBuilder = Callable[..., Scenario]
 
@@ -85,25 +87,58 @@ def grid(
     ]
 
 
+def _sweep_cell(item: Tuple[SweepPoint, ScenarioBuilder, int]) -> Tuple:
+    """Worker for one (grid point, seed) cell; returns picklable pieces."""
+    point, builder, seed = item
+    scenario = builder(seed=seed)
+    outcome = run_scenario(scenario, point.run_config())
+    return (
+        outcome.diagnosis(),
+        scenario.truth,
+        outcome.processing_bytes,
+        outcome.bandwidth_bytes,
+    )
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     builders: Dict[str, ScenarioBuilder],
     seeds: Sequence[int] = (1, 2),
     score: Optional[ScoreConfig] = None,
     progress: Optional[Callable[[SweepPoint], None]] = None,
+    jobs: int = 1,
 ) -> List[SweepResult]:
-    """Run every grid cell over the given seeds."""
+    """Run every grid cell over the given seeds.
+
+    With ``jobs > 1`` the (point × seed) cells run across a process pool;
+    every cell is an independent seeded simulation, so the aggregated
+    results are identical to the serial order-of-execution.
+    """
+    points = list(points)
+    items = [
+        (point, builders[point.scenario], seed) for point in points for seed in seeds
+    ]
+    if jobs > 1 and len(items) > 1:
+        workers = min(jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            cells = list(pool.map(_sweep_cell, items))
+    else:
+        cells = [_sweep_cell(item) for item in items]
+
     results: List[SweepResult] = []
-    for point in points:
-        builder = builders[point.scenario]
+    per_point = len(list(seeds))
+    for i, point in enumerate(points):
         accuracy = AccuracyCounter()
         processing = bandwidth = 0
-        for seed in seeds:
-            scenario = builder(seed=seed)
-            outcome = run_scenario(scenario, point.run_config())
-            accuracy.add(outcome.diagnosis(), scenario.truth, score, label=f"seed{seed}")
-            processing += outcome.processing_bytes
-            bandwidth += outcome.bandwidth_bytes
+        for j, seed in enumerate(seeds):
+            diagnosis, truth, cell_processing, cell_bandwidth = cells[
+                i * per_point + j
+            ]
+            accuracy.add(diagnosis, truth, score, label=f"seed{seed}")
+            processing += cell_processing
+            bandwidth += cell_bandwidth
         results.append(
             SweepResult(
                 point=point,

@@ -1,29 +1,50 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: integer-nanosecond timestamps, a binary heap of
-``(time, sequence, callback)`` entries, and cancellable handles.  The
-sequence number breaks ties so same-time events run in schedule order, which
-keeps runs fully deterministic.
+A hybrid slotted-timer-wheel + heap scheduler with integer-nanosecond
+timestamps:
+
+- Events are stored in *slots*: one FIFO list per distinct timestamp
+  (a hashed timing wheel whose slots are materialized on demand).  The
+  dominant event classes — PFC pause refresh/expiry and per-packet dequeue
+  wakeups — land on already-occupied timestamps more than half the time,
+  so scheduling them is an O(1) list append with no heap traffic.
+- A binary heap orders only the *distinct* occupied slot times, each
+  pushed exactly once when its slot is created.
+- Cancellation is O(1) (a flag on the handle); dead entries are purged
+  when their slot drains and by periodic compaction sweeps, so cancelled
+  entries cannot accumulate across long runs.
+
+Within a slot, events run in schedule order (each append carries a later
+schedule sequence), which keeps runs fully deterministic; across slots the
+heap yields times in increasing order.  Callbacks may carry pre-bound
+arguments (``schedule(delay, fn, *args)``) so hot call sites avoid
+allocating a closure per event.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Callable, Dict, List, Optional
+
+# Compaction sweep cadence: after this many executed events, sweep all
+# slots and drop cancelled entries.  Amortized cost is O(pending / interval)
+# per event — negligible — while bounding dead-entry accumulation.
+COMPACT_INTERVAL_EVENTS = 1 << 15
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "fn", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled")
 
-    def __init__(self, time: int, fn: Callable[[], None]) -> None:
+    def __init__(self, time: int, fn: Callable[..., None], args: tuple) -> None:
         self.time = time
         self.fn = fn
+        self.args = args
         self.cancelled = False
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
+        """Mark the event dead; O(1), it will be dropped when its slot drains."""
         self.cancelled = True
 
 
@@ -32,57 +53,171 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[tuple] = []
-        self._seq: int = 0
+        # time -> FIFO list of handles scheduled for that instant.
+        self._slots: Dict[int, List[EventHandle]] = {}
+        # Heap of occupied slot times; exactly one entry per live slot.
+        self._slot_heap: List[int] = []
         self._events_run: int = 0
+        self._events_purged: int = 0
+        self._compactions: int = 0
+        self._pending: int = 0
+        self._max_pending: int = 0
+        self._next_compact_at: int = COMPACT_INTERVAL_EVENTS
+
+    # -- introspection (performance reporting & tests) -------------------------
 
     @property
     def events_run(self) -> int:
-        """Total events executed so far (for performance reporting)."""
+        """Total events executed so far."""
         return self._events_run
 
-    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> EventHandle:
-        """Run ``fn`` after ``delay_ns`` nanoseconds of simulated time."""
+    @property
+    def events_purged(self) -> int:
+        """Cancelled entries dropped (at slot drain or by compaction)."""
+        return self._events_purged
+
+    @property
+    def compactions(self) -> int:
+        """Number of compaction sweeps performed."""
+        return self._compactions
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries currently queued (live + cancelled-but-unpurged)."""
+        return self._pending
+
+    @property
+    def max_pending_entries(self) -> int:
+        """Peak event-queue depth observed (perf accounting)."""
+        return self._max_pending
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, delay_ns: int, fn: Callable[..., None], *args) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay_ns`` nanoseconds of simulated time."""
         if delay_ns < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, fn)
+        return self.schedule_at(self.now + delay_ns, fn, *args)
 
-    def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> EventHandle:
-        """Run ``fn`` at an absolute simulated time."""
+    def schedule_at(self, time_ns: int, fn: Callable[..., None], *args) -> EventHandle:
+        """Run ``fn(*args)`` at an absolute simulated time."""
         if time_ns < self.now:
             raise ValueError(
                 f"cannot schedule at {time_ns} (now is {self.now})"
             )
-        handle = EventHandle(time_ns, fn)
-        heapq.heappush(self._heap, (time_ns, self._seq, handle))
-        self._seq += 1
+        handle = EventHandle(time_ns, fn, args)
+        slot = self._slots.get(time_ns)
+        if slot is None:
+            self._slots[time_ns] = [handle]
+            heappush(self._slot_heap, time_ns)
+        else:
+            slot.append(handle)
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self._max_pending:
+            self._max_pending = pending
         return handle
+
+    # -- the event loop ---------------------------------------------------------
 
     def run(self, until_ns: Optional[int] = None) -> None:
         """Drain the event queue, optionally stopping at ``until_ns``.
 
         Events scheduled exactly at ``until_ns`` still execute; the clock
-        never runs past it.
+        never runs past it.  Cancelled head entries (including whole dead
+        slots) are purged *before* the stopping check, so the ``until_ns``
+        comparison never consults a dead head entry.
         """
-        while self._heap:
-            time_ns, _, handle = self._heap[0]
-            if until_ns is not None and time_ns > until_ns:
-                break
-            heapq.heappop(self._heap)
-            if handle.cancelled:
+        slots = self._slots
+        slot_heap = self._slot_heap
+        while slot_heap:
+            time_ns = slot_heap[0]
+            slot = slots[time_ns]
+            # Drop the cancelled prefix so the head is live (or the slot dies).
+            i = 0
+            n = len(slot)
+            while i < n and slot[i].cancelled:
+                i += 1
+            if i == n:
+                heappop(slot_heap)
+                del slots[time_ns]
+                self._events_purged += n
+                self._pending -= n
                 continue
+            if until_ns is not None and time_ns > until_ns:
+                if i:
+                    del slot[:i]
+                    self._events_purged += i
+                    self._pending -= i
+                break
+            # Detach the slot; same-time events scheduled by callbacks open a
+            # fresh slot for this time and run after it (schedule order).
+            heappop(slot_heap)
+            del slots[time_ns]
             self.now = time_ns
-            self._events_run += 1
-            handle.fn()
+            self._pending -= n
+            executed = 0
+            while i < n:
+                handle = slot[i]
+                i += 1
+                if handle.cancelled:
+                    continue
+                executed += 1
+                handle.fn(*handle.args)
+            self._events_run += executed
+            self._events_purged += n - executed
+            if self._events_run >= self._next_compact_at:
+                self._next_compact_at = self._events_run + COMPACT_INTERVAL_EVENTS
+                self.compact()
         if until_ns is not None and self.now < until_ns:
             self.now = until_ns
 
     def peek_next_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if the queue is idle."""
-        while self._heap:
-            time_ns, _, handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return time_ns
+        slots = self._slots
+        slot_heap = self._slot_heap
+        while slot_heap:
+            time_ns = slot_heap[0]
+            slot = slots[time_ns]
+            i = 0
+            n = len(slot)
+            while i < n and slot[i].cancelled:
+                i += 1
+            if i < n:
+                if i:
+                    del slot[:i]
+                    self._events_purged += i
+                    self._pending -= i
+                return time_ns
+            heappop(slot_heap)
+            del slots[time_ns]
+            self._events_purged += n
+            self._pending -= n
         return None
+
+    def compact(self) -> int:
+        """Drop every cancelled entry and empty slot; returns entries purged.
+
+        Runs automatically every ``COMPACT_INTERVAL_EVENTS`` executed events;
+        callers with bursty cancellation patterns may invoke it directly.
+        """
+        purged = 0
+        dead_slots = []
+        for time_ns, slot in self._slots.items():
+            if any(h.cancelled for h in slot):
+                live = [h for h in slot if not h.cancelled]
+                purged += len(slot) - len(live)
+                if live:
+                    self._slots[time_ns] = live
+                else:
+                    dead_slots.append(time_ns)
+        if dead_slots:
+            for time_ns in dead_slots:
+                del self._slots[time_ns]
+            # Rebuild in place: ``run`` holds a local alias to this list.
+            self._slot_heap[:] = self._slots.keys()
+            heapify(self._slot_heap)
+        self._events_purged += purged
+        self._pending -= purged
+        self._compactions += 1
+        return purged

@@ -108,7 +108,8 @@ class Host:
         if self.config.dcqcn.enabled:
             self.sim.schedule(
                 start_delay + self.config.dcqcn.recovery_interval_ns,
-                lambda: self._recovery_tick(flow.key),
+                self._recovery_tick,
+                flow.key,
             )
 
     def _recovery_tick(self, key: FlowKey) -> None:
@@ -119,7 +120,7 @@ class Host:
         cc.on_recovery_timer()
         cc.on_alpha_timer()
         self.sim.schedule(
-            self.config.dcqcn.recovery_interval_ns, lambda: self._recovery_tick(key)
+            self.config.dcqcn.recovery_interval_ns, self._recovery_tick, key
         )
         # Rate increases may unblock pacing earlier than previously scheduled.
         self._pump()
@@ -152,7 +153,7 @@ class Host:
         self.injected_pause_frames += 1
         delay = serialization_delay_ns(frame.size, self.bandwidth) + self.delay_ns
         self.network.deliver(self.peer, frame, delay)
-        self.sim.schedule(interval_ns, lambda: self._inject_tick(priority, quanta, interval_ns))
+        self.sim.schedule(interval_ns, self._inject_tick, priority, quanta, interval_ns)
 
     def inject_polling(self, victim: FlowKey, flag: PollingFlag = PollingFlag.VICTIM_PATH) -> None:
         """Send a Hawkeye polling packet for ``victim`` into the network."""
@@ -163,15 +164,18 @@ class Host:
     # -- receive path ---------------------------------------------------------------
 
     def receive(self, pkt: Packet, _port: int = 0) -> None:
-        if pkt.ptype is PacketType.PFC:
+        ptype = pkt.ptype
+        if ptype is PacketType.PFC:
             self._handle_pfc(pkt)
-        elif pkt.ptype is PacketType.DATA:
+        elif ptype is PacketType.DATA:
             self._handle_data(pkt)
-        elif pkt.ptype is PacketType.ACK:
+        elif ptype is PacketType.ACK:
             self._handle_ack(pkt)
-        elif pkt.ptype is PacketType.CNP:
+        elif ptype is PacketType.CNP:
             self._handle_cnp(pkt)
         # POLLING packets reaching a host are terminal; nothing to do.
+        # Every frame terminates at the host, so it goes back to the pool.
+        pkt.recycle()
 
     def _handle_pfc(self, pkt: Packet) -> None:
         now = self.sim.now

@@ -31,7 +31,14 @@ MAX_PAUSE_QUANTA = 0xFFFF
 
 @dataclass(frozen=True, order=True)
 class FlowKey:
-    """A RoCEv2 5-tuple identifying one flow."""
+    """A RoCEv2 5-tuple identifying one flow.
+
+    Keys are hashed on every per-packet dict access across the simulator and
+    telemetry, so the hash is computed once at construction — and it is the
+    *stable* CRC32 (not Python's per-process salted hash), which keeps any
+    hash-ordered container behaviour identical between the serial runner and
+    parallel worker processes.
+    """
 
     src_ip: str
     dst_ip: str
@@ -39,13 +46,19 @@ class FlowKey:
     dst_port: int
     protocol: int = 17  # RoCEv2 rides UDP
 
-    def stable_hash(self) -> int:
-        """Deterministic 32-bit hash (Python's ``hash`` is salted per run)."""
+    def __post_init__(self) -> None:
         blob = (
             f"{self.src_ip}|{self.dst_ip}|{self.src_port}|"
             f"{self.dst_port}|{self.protocol}"
         ).encode()
-        return zlib.crc32(blob)
+        object.__setattr__(self, "_crc", zlib.crc32(blob))
+
+    def __hash__(self) -> int:  # process-independent, precomputed
+        return self._crc  # type: ignore[attr-defined]
+
+    def stable_hash(self) -> int:
+        """Deterministic 32-bit hash (Python's ``hash`` is salted per run)."""
+        return self._crc  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return (
@@ -86,6 +99,13 @@ class Packet:
     carry ``pfc_priority``/``pause_quanta`` instead (quanta 0 is a RESUME).
     ``ingress_port`` is transient per-hop bookkeeping used for buffer
     accounting and the PFC causality meters.
+
+    Packets are pooled: terminal consumers (a host absorbing a frame, a
+    switch absorbing a PFC/polling frame) call :meth:`recycle`, and the
+    factory classmethods reuse recycled objects instead of allocating.  A
+    recycled packet must never be retained — observers and telemetry read
+    fields synchronously during dispatch and keep only scalars, which is
+    what makes the freelist safe.
     """
 
     __slots__ = (
@@ -133,6 +153,50 @@ class Packet:
         self.is_last = False
         self.hops = 0
 
+    # -- freelist -------------------------------------------------------------
+
+    _pool: list = []
+    _POOL_MAX = 8192
+
+    @classmethod
+    def _new(
+        cls,
+        ptype: PacketType,
+        size: int,
+        priority: int,
+        flow: Optional[FlowKey] = None,
+        seq: int = 0,
+        create_time: int = 0,
+    ) -> "Packet":
+        """Pooled allocation: reuse a recycled packet when one is available."""
+        pool = cls._pool
+        if not pool:
+            return cls(ptype, size, priority, flow=flow, seq=seq, create_time=create_time)
+        pkt = pool.pop()
+        pkt.ptype = ptype
+        pkt.flow = flow
+        pkt.size = size
+        pkt.priority = priority
+        pkt.seq = seq
+        pkt.create_time = create_time
+        pkt.ecn_capable = ptype is PacketType.DATA
+        pkt.ce_marked = False
+        pkt.pfc_priority = 0
+        pkt.pause_quanta = 0
+        pkt.polling_flag = PollingFlag.USELESS
+        pkt.ingress_port = None
+        pkt.echo_time = 0
+        pkt.acked_bytes = 0
+        pkt.is_last = False
+        pkt.hops = 0
+        return pkt
+
+    def recycle(self) -> None:
+        """Return a dead packet to the pool (caller must drop its reference)."""
+        pool = Packet._pool
+        if len(pool) < Packet._POOL_MAX:
+            pool.append(self)
+
     # -- constructors ---------------------------------------------------------
 
     @classmethod
@@ -145,27 +209,27 @@ class Packet:
         priority: int = DATA_PRIORITY,
         is_last: bool = False,
     ) -> "Packet":
-        pkt = cls(PacketType.DATA, size, priority, flow=flow, seq=seq, create_time=now)
+        pkt = cls._new(PacketType.DATA, size, priority, flow=flow, seq=seq, create_time=now)
         pkt.is_last = is_last
         return pkt
 
     @classmethod
     def ack(cls, flow: FlowKey, now: int, echo_time: int, acked_bytes: int) -> "Packet":
         """ACK for ``flow`` (the key is the *data* flow's key, not reversed)."""
-        pkt = cls(PacketType.ACK, ACK_SIZE, CONTROL_PRIORITY, flow=flow, create_time=now)
+        pkt = cls._new(PacketType.ACK, ACK_SIZE, CONTROL_PRIORITY, flow=flow, create_time=now)
         pkt.echo_time = echo_time
         pkt.acked_bytes = acked_bytes
         return pkt
 
     @classmethod
     def cnp(cls, flow: FlowKey, now: int) -> "Packet":
-        return cls(PacketType.CNP, CNP_SIZE, CONTROL_PRIORITY, flow=flow, create_time=now)
+        return cls._new(PacketType.CNP, CNP_SIZE, CONTROL_PRIORITY, flow=flow, create_time=now)
 
     @classmethod
     def pfc(cls, priority: int, quanta: int, now: int) -> "Packet":
         if not 0 <= quanta <= MAX_PAUSE_QUANTA:
             raise ValueError(f"pause quanta {quanta} out of range")
-        pkt = cls(PacketType.PFC, PFC_FRAME_SIZE, CONTROL_PRIORITY, create_time=now)
+        pkt = cls._new(PacketType.PFC, PFC_FRAME_SIZE, CONTROL_PRIORITY, create_time=now)
         pkt.pfc_priority = priority
         pkt.pause_quanta = quanta
         return pkt
@@ -173,7 +237,7 @@ class Packet:
     @classmethod
     def polling(cls, victim: FlowKey, flag: PollingFlag, now: int) -> "Packet":
         """A Hawkeye polling packet (Figure 5): victim 5-tuple + flag."""
-        pkt = cls(
+        pkt = cls._new(
             PacketType.POLLING,
             POLLING_PACKET_SIZE,
             CONTROL_PRIORITY,
@@ -207,7 +271,17 @@ class Packet:
         return f"Packet({self.ptype.value} {self.flow} seq={self.seq} size={self.size})"
 
 
+# (quanta, bandwidth) pairs are drawn from a handful of config values, so a
+# plain dict memoizes every conversion the hot PFC paths ever ask for.
+_PAUSE_NS_CACHE: dict = {}
+
+
 def pause_quanta_to_ns(quanta: int, bandwidth_bytes_per_sec: float) -> int:
     """Duration of ``quanta`` pause quanta on a link of the given speed."""
-    bits = quanta * PAUSE_QUANTA_BITS
-    return max(0, int(round(bits / 8 * 1e9 / bandwidth_bytes_per_sec)))
+    key = (quanta, bandwidth_bytes_per_sec)
+    cached = _PAUSE_NS_CACHE.get(key)
+    if cached is None:
+        bits = quanta * PAUSE_QUANTA_BITS
+        cached = max(0, int(round(bits / 8 * 1e9 / bandwidth_bytes_per_sec)))
+        _PAUSE_NS_CACHE[key] = cached
+    return cached

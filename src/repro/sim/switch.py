@@ -14,6 +14,11 @@ The model mirrors how shared-buffer lossless Ethernet switches implement
 This is exactly the mechanism that lets congestion cascade hop-by-hop and
 produce the anomalies of §2.1.  Telemetry systems (Hawkeye or baselines)
 attach via :class:`SwitchObserver` without touching forwarding logic.
+
+Observer dispatch uses a fast path: at attach time the switch records, per
+hook, only the observers that actually *override* that hook, so a hook
+nobody listens to costs one falsy check per packet instead of a dispatch
+loop (detected once at attach time, not per packet).
 """
 
 from __future__ import annotations
@@ -74,6 +79,25 @@ class SwitchObserver:
         """This switch emitted a PFC frame out of ``port``."""
 
 
+# The per-hook override detection for the observer fast path.
+_HOOK_NAMES = (
+    "on_egress_enqueue",
+    "on_egress_dequeue",
+    "on_pfc_received",
+    "on_pfc_sent",
+)
+
+
+def _overridden_hooks(obs: SwitchObserver) -> List[str]:
+    """The observer hooks ``obs`` actually implements (checked on its type)."""
+    cls = type(obs)
+    return [
+        name
+        for name in _HOOK_NAMES
+        if getattr(cls, name) is not getattr(SwitchObserver, name)
+    ]
+
+
 class _EgressQueue:
     __slots__ = ("pkts", "bytes")
 
@@ -100,6 +124,7 @@ class _Port:
         "wake",
         "tx_bytes",
         "tx_pkts",
+        "pfc_tx_latency",
     )
 
     def __init__(self, port_no: int, bandwidth: float, delay_ns: int, peer: PortRef, peer_is_host: bool) -> None:
@@ -114,6 +139,11 @@ class _Port:
         self.wake = None  # pending wake handle (dedup)
         self.tx_bytes = 0
         self.tx_pkts = 0
+        # PFC frames are fixed-size and out-of-band: the wire latency is a
+        # per-port constant, precomputed at wiring time.
+        from .packet import PFC_FRAME_SIZE
+
+        self.pfc_tx_latency = serialization_delay_ns(PFC_FRAME_SIZE, bandwidth) + delay_ns
 
     def queue(self, priority: int) -> _EgressQueue:
         q = self.queues.get(priority)
@@ -159,9 +189,17 @@ class Switch:
         # True while we are asserting PAUSE toward the upstream of a port
         self._pausing: Dict[Tuple[int, int], bool] = {}
         self.observers: List[SwitchObserver] = []
+        # Observer fast path: per-hook lists of overriding observers only.
+        self._obs_enqueue: List[SwitchObserver] = []
+        self._obs_dequeue: List[SwitchObserver] = []
+        self._obs_pfc_rx: List[SwitchObserver] = []
+        self._obs_pfc_tx: List[SwitchObserver] = []
         self.polling_handler: Optional[PollingHandler] = None
         self.stats = SwitchStats()
         self._rng = random.Random((config.seed, name).__repr__())
+        self._ecn_kmin = config.ecn.kmin_bytes
+        self._pfc_xoff = config.pfc.xoff_bytes
+        self._pfc_xon = config.pfc.xon_bytes
 
     # -- wiring ---------------------------------------------------------------
 
@@ -170,6 +208,15 @@ class Switch:
 
     def add_observer(self, obs: SwitchObserver) -> None:
         self.observers.append(obs)
+        hooks = _overridden_hooks(obs)
+        if "on_egress_enqueue" in hooks:
+            self._obs_enqueue.append(obs)
+        if "on_egress_dequeue" in hooks:
+            self._obs_dequeue.append(obs)
+        if "on_pfc_received" in hooks:
+            self._obs_pfc_rx.append(obs)
+        if "on_pfc_sent" in hooks:
+            self._obs_pfc_tx.append(obs)
 
     def ingress_occupancy(self, port: int, priority: int = DATA_PRIORITY) -> int:
         return self._ingress_bytes.get((port, priority), 0)
@@ -188,10 +235,11 @@ class Switch:
     def receive(self, pkt: Packet, ingress_port: int) -> None:
         """Entry point for frames delivered by an attached link."""
         self.stats.rx_pkts += 1
-        if pkt.ptype is PacketType.PFC:
+        ptype = pkt.ptype
+        if ptype is PacketType.PFC:
             self._handle_pfc(pkt, ingress_port)
             return
-        if pkt.ptype is PacketType.POLLING:
+        if ptype is PacketType.POLLING:
             self._handle_polling(pkt, ingress_port)
             return
         self._forward(pkt, ingress_port)
@@ -210,63 +258,76 @@ class Switch:
         """A PAUSE/RESUME frame arrived: (un)pause our egress on that port."""
         port = self.ports[port_no]
         now = self.sim.now
-        if pkt.pause_quanta > 0:
+        priority = pkt.pfc_priority
+        quanta = pkt.pause_quanta
+        if quanta > 0:
             self.stats.pause_received += 1
-            duration = pause_quanta_to_ns(pkt.pause_quanta, port.bandwidth)
-            port.paused_until[pkt.pfc_priority] = now + duration
-            # When the pause lapses (if never refreshed) the transmitter
-            # must wake up by itself.
-            self.sim.schedule(duration + 1, lambda p=port_no: self._try_transmit(p))
+            duration = pause_quanta_to_ns(quanta, port.bandwidth)
+            port.paused_until[priority] = now + duration
+            # When the pause lapses (if never refreshed) the transmitter must
+            # wake up by itself — but only if it has something queued; the
+            # deduplicated wake keeps refreshed pauses from piling one dead
+            # event per PAUSE frame into the scheduler.
+            self._schedule_unpause_wake(port)
         else:
             self.stats.resume_received += 1
-            port.paused_until[pkt.pfc_priority] = now
+            port.paused_until[priority] = now
             self._try_transmit(port_no)
-        for obs in self.observers:
-            obs.on_pfc_received(self, now, port_no, pkt.pfc_priority, pkt.pause_quanta)
+        for obs in self._obs_pfc_rx:
+            obs.on_pfc_received(self, now, port_no, priority, quanta)
+        pkt.recycle()  # PFC frames terminate here
 
     def _handle_polling(self, pkt: Packet, ingress_port: int) -> None:
         self.stats.polling_seen += 1
         if self.polling_handler is None:
+            pkt.recycle()
             return
         for egress_port, flag in self.polling_handler(self, pkt, ingress_port):
             dup = pkt.copy_polling(flag, self.sim.now)
             dup.hops = pkt.hops + 1
             self.enqueue(dup, egress_port, ingress_port)
+        pkt.recycle()  # forwarded duplicates carry the trace on
 
     # -- enqueue / buffer accounting -------------------------------------------
 
     def enqueue(self, pkt: Packet, egress_port: int, ingress_port: Optional[int]) -> None:
         """Place a packet in an egress queue, with PFC ingress accounting."""
         port = self.ports[egress_port]
-        queue = port.queue(pkt.priority)
+        priority = pkt.priority
+        queue = port.queues.get(priority)
+        if queue is None:
+            queue = port.queue(priority)
         now = self.sim.now
+        size = pkt.size
 
-        depth_pkts = len(queue)
+        depth_pkts = len(queue.pkts)
         depth_bytes = queue.bytes
-        paused = port.is_paused(pkt.priority, now)
+        paused = port.paused_until.get(priority, 0) > now
 
         # ECN marking against the egress queue occupancy (data only).
-        if pkt.ecn_capable and not pkt.ce_marked:
+        if pkt.ecn_capable and not pkt.ce_marked and depth_bytes > self._ecn_kmin:
             prob = self.config.ecn.mark_probability(depth_bytes)
             if prob > 0 and self._rng.random() < prob:
                 pkt.ce_marked = True
 
         pkt.ingress_port = ingress_port
         queue.pkts.append(pkt)
-        queue.bytes += pkt.size
-        self.stats.enqueued_bytes += pkt.size
+        queue.bytes = depth_bytes + size
+        stats = self.stats
+        stats.enqueued_bytes += size
         if pkt.ptype is PacketType.DATA:
-            self.stats.data_pkts += 1
-            self.stats.data_bytes += pkt.size
+            stats.data_pkts += 1
+            stats.data_bytes += size
 
-        if ingress_port is not None and pkt.priority in LOSSLESS_PRIORITIES:
-            key = (ingress_port, pkt.priority)
-            occ = self._ingress_bytes.get(key, 0) + pkt.size
-            self._ingress_bytes[key] = occ
-            if occ > self.config.pfc.xoff_bytes and not self._pausing.get(key):
+        if ingress_port is not None and priority in LOSSLESS_PRIORITIES:
+            key = (ingress_port, priority)
+            ingress_bytes = self._ingress_bytes
+            occ = ingress_bytes.get(key, 0) + size
+            ingress_bytes[key] = occ
+            if occ > self._pfc_xoff and not self._pausing.get(key):
                 self._assert_pause(key)
 
-        for obs in self.observers:
+        for obs in self._obs_enqueue:
             obs.on_egress_enqueue(
                 self, now, pkt, egress_port, ingress_port, depth_pkts, depth_bytes, paused
             )
@@ -278,17 +339,17 @@ class Switch:
         self._pausing[key] = True
         self._send_pfc(key[0], key[1], self.config.pfc.pause_quanta)
         self.sim.schedule(
-            self.config.pfc.refresh_interval_ns, lambda: self._refresh_pause(key)
+            self.config.pfc.refresh_interval_ns, self._refresh_pause, key
         )
 
     def _refresh_pause(self, key: Tuple[int, int]) -> None:
         if not self._pausing.get(key):
             return
         # Still above Xon?  Keep the upstream paused.
-        if self._ingress_bytes.get(key, 0) >= self.config.pfc.xon_bytes:
+        if self._ingress_bytes.get(key, 0) >= self._pfc_xon:
             self._send_pfc(key[0], key[1], self.config.pfc.pause_quanta)
             self.sim.schedule(
-                self.config.pfc.refresh_interval_ns, lambda: self._refresh_pause(key)
+                self.config.pfc.refresh_interval_ns, self._refresh_pause, key
             )
         else:
             self._release_pause(key)
@@ -305,11 +366,10 @@ class Switch:
             self.stats.pause_sent += 1
         else:
             self.stats.resume_sent += 1
-        for obs in self.observers:
+        for obs in self._obs_pfc_tx:
             obs.on_pfc_sent(self, now, port_no, priority, quanta)
         frame = Packet.pfc(priority, quanta, now)
-        delay = serialization_delay_ns(frame.size, port.bandwidth) + port.delay_ns
-        self.network.deliver(port.peer, frame, delay)
+        self.network.deliver(port.peer, frame, port.pfc_tx_latency)
 
     # -- transmit path -------------------------------------------------------------
 
@@ -318,32 +378,47 @@ class Switch:
         now = self.sim.now
         if port.busy_until > now:
             return
-        pkt = self._pick_packet(port, now)
-        if pkt is None:
+
+        # Pick the highest-priority head-of-line packet whose class is not
+        # paused (inlined: this runs for every enqueue and wire-idle event).
+        queues = port.queues
+        paused_until = port.paused_until
+        best_prio = None
+        for prio, queue in queues.items():
+            if not queue.pkts:
+                continue
+            if paused_until.get(prio, 0) > now:
+                continue
+            if best_prio is None or prio > best_prio:
+                best_prio = prio
+        if best_prio is None:
             self._schedule_unpause_wake(port)
             return
 
-        queue = port.queues[pkt.priority]
-        queue.pkts.popleft()
-        queue.bytes -= pkt.size
-        port.tx_bytes += pkt.size
+        queue = queues[best_prio]
+        pkt = queue.pkts.popleft()
+        size = pkt.size
+        queue.bytes -= size
+        port.tx_bytes += size
         port.tx_pkts += 1
         self.stats.tx_pkts += 1
 
-        if pkt.ingress_port is not None and pkt.priority in LOSSLESS_PRIORITIES:
-            key = (pkt.ingress_port, pkt.priority)
-            occ = self._ingress_bytes.get(key, 0) - pkt.size
-            self._ingress_bytes[key] = occ
-            if occ < self.config.pfc.xon_bytes and self._pausing.get(key):
+        ingress_port = pkt.ingress_port
+        if ingress_port is not None and pkt.priority in LOSSLESS_PRIORITIES:
+            key = (ingress_port, pkt.priority)
+            ingress_bytes = self._ingress_bytes
+            occ = ingress_bytes.get(key, 0) - size
+            ingress_bytes[key] = occ
+            if occ < self._pfc_xon and self._pausing.get(key):
                 self._release_pause(key)
 
-        for obs in self.observers:
+        for obs in self._obs_dequeue:
             obs.on_egress_dequeue(self, now, pkt, port_no)
 
-        ser = serialization_delay_ns(pkt.size, port.bandwidth)
+        ser = serialization_delay_ns(size, port.bandwidth)
         port.busy_until = now + ser
         self.network.deliver(port.peer, pkt, ser + port.delay_ns)
-        self.sim.schedule(ser, lambda p=port_no: self._try_transmit(p))
+        self.sim.schedule(ser, self._try_transmit, port_no)
 
     def _pick_packet(self, port: _Port, now: int) -> Optional[Packet]:
         """Highest-priority head-of-line packet whose class is not paused."""
@@ -379,9 +454,8 @@ class Switch:
             return
         if pending is not None:
             pending.cancel()
+        port.wake = self.sim.schedule_at(wake_at, self._fire_wake, port)
 
-        def fire(p=port.port_no, ref=port):
-            ref.wake = None
-            self._try_transmit(p)
-
-        port.wake = self.sim.schedule_at(wake_at, fire)
+    def _fire_wake(self, port: _Port) -> None:
+        port.wake = None
+        self._try_transmit(port.port_no)

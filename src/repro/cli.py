@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the provenance graph as Graphviz DOT")
     run.add_argument("--perf-json", metavar="FILE",
                      help="write wall-clock/event-loop stats as JSON")
+    run.add_argument("--profile", type=int, metavar="N", default=0,
+                     help="profile the run and print the top N functions "
+                          "by cumulative time (0 = off)")
 
     sweep = sub.add_parser("sweep", help="grid-sweep parameters over scenarios")
     sweep.add_argument("scenarios", nargs="+", choices=sorted(SCENARIO_BUILDERS))
@@ -84,7 +87,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"scenario : {scenario.name}")
     print(f"           {scenario.description}")
     print(f"system   : {config.system.value}")
-    result = run_scenario(scenario, config)
+    if args.profile > 0:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_scenario(scenario, config)
+        profiler.disable()
+        print(f"\n-- profile: top {args.profile} by cumulative time --")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(args.profile)
+    else:
+        result = run_scenario(scenario, config)
 
     outcome = result.primary_outcome()
     if outcome is None:
@@ -114,6 +130,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"perf stats written to {args.perf_json} "
               f"({result.perf.events_per_sec:,.0f} events/s, "
               f"peak queue {result.perf.peak_pending_events})")
+        for name, stats in sorted(result.perf.caches.items()):
+            total = stats["hits"] + stats["misses"]
+            rate = stats["hits"] / total if total else 0.0
+            print(f"  cache {name:24s} {stats['hits']:>9,d} hits / "
+                  f"{stats['misses']:>7,d} misses ({rate:.0%})")
     return 0 if verdict else 2
 
 

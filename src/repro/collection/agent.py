@@ -55,6 +55,9 @@ class DetectionAgent:
         self.config = config if config is not None else AgentConfig()
         self.triggers: List[TriggerEvent] = []
         self._base_rtt: Dict[FlowKey, int] = {}
+        # multiplier * base RTT, precomputed per flow: the RTT listener runs
+        # for every ACK, so the comparison threshold is resolved once.
+        self._threshold: Dict[FlowKey, float] = {}
         self._last_trigger: Dict[FlowKey, int] = {}
         self._listeners: List[Callable[[TriggerEvent], None]] = []
         self._progress: Dict[FlowKey, tuple] = {}
@@ -75,10 +78,13 @@ class DetectionAgent:
         return cached
 
     def _on_rtt(self, flow: Flow, now: int, rtt_ns: int) -> None:
-        base = self.base_rtt(flow)
-        if rtt_ns <= self.config.threshold_multiplier * base:
+        threshold = self._threshold.get(flow.key)
+        if threshold is None:
+            threshold = self.config.threshold_multiplier * self.base_rtt(flow)
+            self._threshold[flow.key] = threshold
+        if rtt_ns <= threshold:
             return
-        self._trigger(flow, now, rtt_ns, base)
+        self._trigger(flow, now, rtt_ns, self._base_rtt[flow.key])
 
     def _trigger(self, flow: Flow, now: int, rtt_ns: int, base: int) -> None:
         last = self._last_trigger.get(flow.key)

@@ -66,6 +66,9 @@ class TelemetryCollector:
         self.stats = CollectionStats()
         self._last_collect: Dict[str, int] = {}
         self._pending: Dict[str, int] = {}
+        # Freshest report per switch, maintained incrementally so the
+        # analyzer-side lookup is O(switches) rather than O(reports).
+        self._latest: Dict[str, SwitchReport] = {}
 
     def on_polling_mirror(self, switch_name: str, pkt: Packet, now: int) -> None:
         """CPU-mirror notification: maybe start an asynchronous register read."""
@@ -100,6 +103,9 @@ class TelemetryCollector:
         telem = self.deployment.for_switch(switch_name)
         report = telem.snapshot(now, self.lookback_epochs)
         self.reports.append(report)
+        existing = self._latest.get(switch_name)
+        if existing is None or report.collect_time > existing.collect_time:
+            self._latest[switch_name] = report
         self._account(report, telem)
         return report
 
@@ -130,13 +136,12 @@ class TelemetryCollector:
     # -- analyzer-side access ----------------------------------------------------
 
     def reports_by_switch(self) -> Dict[str, SwitchReport]:
-        """Latest report per switch (what the analyzer diagnoses from)."""
-        out: Dict[str, SwitchReport] = {}
-        for report in self.reports:
-            existing = out.get(report.switch)
-            if existing is None or report.collect_time > existing.collect_time:
-                out[report.switch] = report
-        return out
+        """Latest report per switch (what the analyzer diagnoses from).
+
+        Maintained incrementally at collect time; key order matches the
+        order switches were first collected, as the scan-based version had.
+        """
+        return dict(self._latest)
 
     def collected_switches(self) -> List[str]:
         return sorted({r.switch for r in self.reports})

@@ -129,11 +129,9 @@ class PollingEngine:
                 volume = telem.meter_volume(ingress_port, port_no, now, lookback)
                 if volume <= 0:
                     continue  # this egress does not feed the complaining ingress
-            paused = (
-                telem.port_paused_num(port_no, now, lookback) > 0
-                or telem.port_is_paused(port_no, now)
-                or telem.port_pause_rx(port_no, now, lookback) > 0
-            )
+            # paused packets, asserted status register, or PAUSE frames seen
+            # — one batched walk over the live epoch banks.
+            paused = telem.port_pause_evidence(port_no, now, lookback)
             if not paused:
                 # Neither paused packets nor an asserted PFC status: the
                 # buildup here is local flow contention — the initial

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..sim.packet import FlowKey
 from ..topology.graph import PortRef
 from .build import AnnotatedGraph
+from .graph import EdgeKind
 from .report import AnomalyType, Diagnosis, Finding, RootCauseKind
 
 _EPS = 1e-9
@@ -343,13 +344,14 @@ class Diagnoser:
             relevant = set(finding.pfc_path) | set(finding.loop)
             if len(relevant) < 2:
                 continue
+            # Equivalent to scanning every flow's pausing ports, but walks
+            # only the relevant ports' incoming flow-port edges; the final
+            # sort makes the result independent of traversal order.
             counts: Dict[FlowKey, int] = {}
-            for flow in graph.flows:
-                if flow == victim:
-                    continue
-                for port, weight in graph.ports_pausing_flow(flow):
-                    if port in relevant and weight > _EPS:
-                        counts[flow] = counts.get(flow, 0) + 1
+            for port in relevant:
+                for edge in graph.in_edges(port, EdgeKind.FLOW_PORT):
+                    if edge.src != victim and edge.weight > _EPS:
+                        counts[edge.src] = counts.get(edge.src, 0) + 1
             finding.spreading_flows = sorted(
                 (f for f, c in counts.items() if c >= 2), key=str
             )

@@ -47,6 +47,16 @@ class ProvenanceGraph:
         self.flows: Set[FlowKey] = set()
         self._out: Dict[NodeId, List[Edge]] = {}
         self._in: Dict[NodeId, List[Edge]] = {}
+        # Incremental adjacency indexes, maintained by add_edge so the hot
+        # diagnosis queries (port_successors / port_flow_weights /
+        # ports_pausing_flow) never rescan and refilter the edge lists.
+        # They reproduce the filtered views' orders exactly: list append for
+        # successors/pausing, dict assignment (first-insertion position,
+        # last-value-wins) for the weights.
+        self._pp_succ: Dict[NodeId, List[PortRef]] = {}
+        self._pf_weights: Dict[NodeId, Dict[FlowKey, float]] = {}
+        self._fp_pausing: Dict[NodeId, List[Tuple[PortRef, float]]] = {}
+        self._pp_edge_count = 0
 
     # -- construction -------------------------------------------------------------
 
@@ -72,6 +82,13 @@ class ProvenanceGraph:
         edge = Edge(src=src, dst=dst, kind=kind, weight=weight)
         self._out[src].append(edge)
         self._in[dst].append(edge)
+        if kind is EdgeKind.PORT_PORT:
+            self._pp_succ.setdefault(src, []).append(dst)  # type: ignore[arg-type]
+            self._pp_edge_count += 1
+        elif kind is EdgeKind.PORT_FLOW:
+            self._pf_weights.setdefault(src, {})[dst] = weight  # type: ignore[index]
+        else:  # FLOW_PORT
+            self._fp_pausing.setdefault(src, []).append((dst, weight))  # type: ignore[arg-type]
         return edge
 
     # -- queries -------------------------------------------------------------------
@@ -102,30 +119,29 @@ class ProvenanceGraph:
 
     def port_out_degree(self, port: PortRef) -> int:
         """Out-degree restricted to port-level edges (Table 2's out-deg_P)."""
-        return len(self.out_edges(port, EdgeKind.PORT_PORT))
+        return len(self._pp_succ.get(port, ()))
 
     def port_successors(self, port: PortRef) -> List[PortRef]:
-        return [e.dst for e in self.out_edges(port, EdgeKind.PORT_PORT)]  # type: ignore[misc]
+        """Port-level successors; callers must treat the list as read-only."""
+        return self._pp_succ.get(port, [])
 
     def flow_port_weight(self, flow: FlowKey, port: PortRef) -> float:
         w = self.weight(flow, port)
         return w if w is not None else 0.0
 
     def port_flow_weights(self, port: PortRef) -> Dict[FlowKey, float]:
-        return {
-            e.dst: e.weight  # type: ignore[dict-item]
-            for e in self.out_edges(port, EdgeKind.PORT_FLOW)
-        }
+        """Port-flow edge weights; callers must treat the dict as read-only."""
+        return self._pf_weights.get(port, {})
 
     def ports_pausing_flow(self, flow: FlowKey) -> List[Tuple[PortRef, float]]:
-        """Ports that PFC-paused this flow, with paused-packet weights."""
-        return [
-            (e.dst, e.weight)  # type: ignore[list-item]
-            for e in self.out_edges(flow, EdgeKind.FLOW_PORT)
-        ]
+        """Ports that PFC-paused this flow, with paused-packet weights.
+
+        Callers must treat the returned list as read-only.
+        """
+        return self._fp_pausing.get(flow, [])
 
     def has_port_level_edges(self) -> bool:
-        return any(True for _ in self.edges(EdgeKind.PORT_PORT))
+        return self._pp_edge_count > 0
 
     # -- rendering ---------------------------------------------------------------------
 

@@ -13,9 +13,9 @@ from __future__ import annotations
 import json
 import platform
 import sys
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 BENCH_PERF_FILENAME = "BENCH_perf.json"
 
@@ -31,9 +31,21 @@ class PerfStats:
     peak_pending_events: int
     events_purged: int = 0
     compactions: int = 0
+    # Memoization-cache effectiveness: cache name -> {"hits": N, "misses": N}.
+    # Covers the process-global caches (serialization delay, pause quanta,
+    # report aggregation, replay contribution) scoped to this run by
+    # before/after differencing, plus the per-run instance caches (ECMP
+    # select, telemetry snapshot/epoch materialization).
+    caches: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @classmethod
-    def from_run(cls, scenario_name: str, sim: Any, wall_s: float) -> "PerfStats":
+    def from_run(
+        cls,
+        scenario_name: str,
+        sim: Any,
+        wall_s: float,
+        caches: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> "PerfStats":
         """Snapshot a :class:`~repro.sim.engine.Simulator`'s counters."""
         events = sim.events_run
         return cls(
@@ -44,6 +56,7 @@ class PerfStats:
             peak_pending_events=sim.max_pending_entries,
             events_purged=sim.events_purged,
             compactions=sim.compactions,
+            caches=caches if caches is not None else {},
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -52,6 +65,37 @@ class PerfStats:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PerfStats":
         return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+
+def global_cache_counters() -> Dict[str, Tuple[int, int]]:
+    """Current (hits, misses) of every process-global memoization cache.
+
+    Runs scope these to themselves by snapshotting before and differencing
+    after (see :func:`diff_cache_counters`) — the caches survive across
+    runs in one process, so absolute values mix scenarios.
+    """
+    from ..core.build import CONTRIB_CACHE_STATS
+    from ..sim.packet import PAUSE_NS_CACHE_STATS
+    from ..telemetry.snapshot import AGG_CACHE_STATS
+    from ..units import SER_DELAY_CACHE_STATS
+
+    return {
+        "serialization_delay": (SER_DELAY_CACHE_STATS[0], SER_DELAY_CACHE_STATS[1]),
+        "pause_quanta": (PAUSE_NS_CACHE_STATS[0], PAUSE_NS_CACHE_STATS[1]),
+        "report_agg": (AGG_CACHE_STATS[0], AGG_CACHE_STATS[1]),
+        "replay_contribution": (CONTRIB_CACHE_STATS[0], CONTRIB_CACHE_STATS[1]),
+    }
+
+
+def diff_cache_counters(
+    before: Dict[str, Tuple[int, int]], after: Dict[str, Tuple[int, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-cache hit/miss deltas between two counter snapshots."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, (hits, misses) in after.items():
+        h0, m0 = before.get(name, (0, 0))
+        out[name] = {"hits": hits - h0, "misses": misses - m0}
+    return out
 
 
 def environment_info() -> Dict[str, str]:

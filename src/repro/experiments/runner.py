@@ -40,7 +40,7 @@ from ..telemetry.snapshot import SwitchReport
 from ..units import usec
 from ..workloads.scenario import Scenario
 from .metrics import diagnosis_correct
-from .perfstats import PerfStats
+from .perfstats import PerfStats, diff_cache_counters, global_cache_counters
 
 
 @dataclass
@@ -162,6 +162,10 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     kind = config.system
     net = scenario.network
     scheme = config.scheme()
+    # Scope the process-global and routing-instance cache counters to this
+    # run by differencing (the caches persist across runs in one process).
+    caches_before = global_cache_counters()
+    ecmp_before = (net.routing.select_cache_hits, net.routing.select_cache_misses)
 
     deployment = HawkeyeDeployment(
         net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
@@ -263,8 +267,15 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     for victim in scenario.victims:
         causal |= causal_switches_of(scenario, victim.key)
 
+    cache_stats = diff_cache_counters(caches_before, global_cache_counters())
+    cache_stats["ecmp_select"] = {
+        "hits": net.routing.select_cache_hits - ecmp_before[0],
+        "misses": net.routing.select_cache_misses - ecmp_before[1],
+    }
+    for name, (hits, misses) in deployment.cache_counters().items():
+        cache_stats[name] = {"hits": hits, "misses": misses}
     perf = PerfStats.from_run(
-        scenario.name, net.sim, time.perf_counter() - wall_start
+        scenario.name, net.sim, time.perf_counter() - wall_start, caches=cache_stats
     )
 
     return RunResult(
@@ -331,11 +342,43 @@ class RunSummary:
     polling_packets: int
     collections: int
     perf: Optional[PerfStats] = None
+    # The primary diagnosis's input telemetry in the columnar wire format
+    # (switch -> SwitchReport.to_columnar()): flat interned arrays pickle
+    # far smaller and faster across the worker boundary than per-entry
+    # FlowEntry/PortEntry object graphs.
+    primary_reports_columnar: Optional[Dict[str, Dict]] = None
+
+    def primary_reports(self) -> Optional[Dict[str, SwitchReport]]:
+        """Rebuild the shipped diagnosis-input reports (orders intact)."""
+        if self.primary_reports_columnar is None:
+            return None
+        return {
+            name: SwitchReport.from_columnar(blob)
+            for name, blob in self.primary_reports_columnar.items()
+        }
 
 
-def summarize_run(spec: ScenarioSpec, scenario: Scenario, result: RunResult) -> RunSummary:
-    """Reduce a completed run to its picklable summary."""
+def summarize_run(
+    spec: ScenarioSpec,
+    scenario: Scenario,
+    result: RunResult,
+    ship_reports: bool = False,
+) -> RunSummary:
+    """Reduce a completed run to its picklable summary.
+
+    ``ship_reports`` additionally packs the primary diagnosis's input
+    telemetry as columnar blobs so the parent process can re-run provenance
+    construction without re-simulating.
+    """
     diagnosis = result.diagnosis()
+    reports_columnar = None
+    if ship_reports:
+        primary = result.primary_outcome()
+        if primary is not None:
+            reports_columnar = {
+                name: report.to_columnar()
+                for name, report in primary.reports_used.items()
+            }
     return RunSummary(
         spec=spec,
         diagnosis_text=diagnosis.describe() if diagnosis is not None else None,
@@ -347,15 +390,16 @@ def summarize_run(spec: ScenarioSpec, scenario: Scenario, result: RunResult) -> 
         polling_packets=result.polling_packets,
         collections=result.collections,
         perf=result.perf,
+        primary_reports_columnar=reports_columnar,
     )
 
 
-def _run_spec_worker(item: Tuple[ScenarioSpec, RunConfig]) -> RunSummary:
+def _run_spec_worker(item: Tuple[ScenarioSpec, RunConfig, bool]) -> RunSummary:
     """Process-pool entry point: build, run, summarize one spec."""
-    spec, config = item
+    spec, config, ship_reports = item
     scenario = spec.build()
     result = run_scenario(scenario, config)
-    return summarize_run(spec, scenario, result)
+    return summarize_run(spec, scenario, result, ship_reports=ship_reports)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -370,16 +414,19 @@ def run_scenarios_parallel(
     specs: Iterable[ScenarioSpec],
     config: Optional[RunConfig] = None,
     jobs: int = 1,
+    ship_reports: bool = False,
 ) -> List[RunSummary]:
     """Run independent scenarios across a process pool.
 
     Results come back in spec order regardless of completion order, and
     are identical to ``jobs=1`` (each run is fully determined by its spec's
     seed).  ``jobs=1`` runs in-process with no pool overhead.
+    ``ship_reports`` makes each summary carry the primary diagnosis's input
+    telemetry as compact columnar blobs (see :class:`RunSummary`).
     """
     config = config if config is not None else RunConfig()
     spec_list = list(specs)
-    items = [(spec, config) for spec in spec_list]
+    items = [(spec, config, ship_reports) for spec in spec_list]
     if jobs <= 1 or len(spec_list) <= 1:
         return [_run_spec_worker(item) for item in items]
     workers = min(jobs, len(spec_list))

@@ -274,6 +274,7 @@ class Packet:
 # (quanta, bandwidth) pairs are drawn from a handful of config values, so a
 # plain dict memoizes every conversion the hot PFC paths ever ask for.
 _PAUSE_NS_CACHE: dict = {}
+PAUSE_NS_CACHE_STATS = [0, 0]  # [hits, misses], surfaced via PerfStats
 
 
 def pause_quanta_to_ns(quanta: int, bandwidth_bytes_per_sec: float) -> int:
@@ -284,4 +285,7 @@ def pause_quanta_to_ns(quanta: int, bandwidth_bytes_per_sec: float) -> int:
         bits = quanta * PAUSE_QUANTA_BITS
         cached = max(0, int(round(bits / 8 * 1e9 / bandwidth_bytes_per_sec)))
         _PAUSE_NS_CACHE[key] = cached
+        PAUSE_NS_CACHE_STATS[1] += 1
+    else:
+        PAUSE_NS_CACHE_STATS[0] += 1
     return cached

@@ -2,6 +2,7 @@
 
 from .epoch import EpochScheme, nearest_power_of_two_shift
 from .hawkeye import HawkeyeDeployment, HawkeyeSwitchTelemetry, TelemetryConfig
+from .reference import ReferenceSwitchTelemetry
 from .records import (
     FLOW_ENTRY_BYTES,
     METER_ENTRY_BYTES,
@@ -18,6 +19,7 @@ __all__ = [
     "nearest_power_of_two_shift",
     "HawkeyeDeployment",
     "HawkeyeSwitchTelemetry",
+    "ReferenceSwitchTelemetry",
     "TelemetryConfig",
     "FLOW_ENTRY_BYTES",
     "METER_ENTRY_BYTES",

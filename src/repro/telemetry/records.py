@@ -116,13 +116,21 @@ class PortEntry:
 
 @dataclass
 class EpochData:
-    """Everything one epoch's registers hold, post-collection."""
+    """Everything one epoch's registers hold, post-collection.
+
+    Instances are immutable by convention once collected: the telemetry
+    plane memoizes and shares them across reports and victims, and the
+    baseline transforms copy rather than mutate.  ``replay_cache`` holds
+    memoized per-epoch replay contributions computed by the provenance
+    builder (keyed by replay parameters); it is excluded from equality.
+    """
 
     epoch_number: int
     flows: Dict[Tuple[FlowKey, int], FlowEntry] = field(default_factory=dict)
     ports: Dict[int, PortEntry] = field(default_factory=dict)
     # PFC causality meters: (ingress_port, egress_port) -> bytes (Figure 3)
     meters: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    replay_cache: Dict = field(default_factory=dict, repr=False, compare=False)
 
     def merged_flow(self, key: FlowKey, egress_port: int) -> Optional[FlowEntry]:
         return self.flows.get((key, egress_port))

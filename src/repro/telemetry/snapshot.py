@@ -9,8 +9,9 @@ aggregation helpers collapse the epoch dimension for the provenance builder
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sim.packet import FlowKey
 from .records import (
@@ -23,21 +24,38 @@ from .records import (
     PortEntry,
 )
 
+# (hits, misses) of the lazy agg_* memoization, surfaced via PerfStats.
+AGG_CACHE_STATS = [0, 0]
+
 
 @dataclass
 class SwitchReport:
-    """Telemetry collected from one switch for one diagnosis event."""
+    """Telemetry collected from one switch for one diagnosis event.
+
+    Reports are immutable by convention once collected (the baseline
+    transforms build new reports instead of mutating), which lets the
+    ``agg_*`` aggregates be computed lazily once and memoized — the
+    analyzer re-reads the same report for every victim of an incident.
+    Callers must treat the returned dicts as read-only.
+    """
 
     switch: str
     collect_time: int
     epochs: List[EpochData] = field(default_factory=list)
     # port -> remaining pause time (ns) at collection, 0 if unpaused
     port_status: Dict[int, int] = field(default_factory=dict)
+    _agg_flows: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
+    _agg_ports: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
+    _agg_meters: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
 
     # -- aggregation across epochs ------------------------------------------------
 
     def agg_flows(self) -> Dict[Tuple[FlowKey, int], FlowEntry]:
         """Per (flow, egress port) totals over all reported epochs."""
+        if self._agg_flows is not None:
+            AGG_CACHE_STATS[0] += 1
+            return self._agg_flows
+        AGG_CACHE_STATS[1] += 1
         out: Dict[Tuple[FlowKey, int], FlowEntry] = {}
         for epoch in self.epochs:
             for key, entry in epoch.flows.items():
@@ -46,10 +64,15 @@ class SwitchReport:
                     out[key] = entry.copy()
                 else:
                     existing.merge(entry)
+        self._agg_flows = out
         return out
 
     def agg_ports(self) -> Dict[int, PortEntry]:
         """Per egress-port totals over all reported epochs."""
+        if self._agg_ports is not None:
+            AGG_CACHE_STATS[0] += 1
+            return self._agg_ports
+        AGG_CACHE_STATS[1] += 1
         out: Dict[int, PortEntry] = {}
         for epoch in self.epochs:
             for port, entry in epoch.ports.items():
@@ -61,14 +84,20 @@ class SwitchReport:
                     existing.paused_count += entry.paused_count
                     existing.qdepth_sum_pkts += entry.qdepth_sum_pkts
                     existing.pause_rx_count += entry.pause_rx_count
+        self._agg_ports = out
         return out
 
     def agg_meters(self) -> Dict[Tuple[int, int], int]:
         """Per (ingress, egress) byte totals over all reported epochs."""
+        if self._agg_meters is not None:
+            AGG_CACHE_STATS[0] += 1
+            return self._agg_meters
+        AGG_CACHE_STATS[1] += 1
         out: Dict[Tuple[int, int], int] = {}
         for epoch in self.epochs:
             for pair, volume in epoch.meters.items():
                 out[pair] = out.get(pair, 0) + volume
+        self._agg_meters = out
         return out
 
     def flow_paused_count(self, key: FlowKey, egress_port: Optional[int] = None) -> int:
@@ -97,6 +126,118 @@ class SwitchReport:
             + self.num_meter_entries() * METER_ENTRY_BYTES
             + len(self.port_status) * PORT_STATUS_BYTES
         )
+
+    # -- columnar wire format -------------------------------------------------------
+
+    def to_columnar(self) -> Dict[str, Any]:
+        """Pack the report into flat parallel arrays (the shipping format).
+
+        Sweep workers return diagnosis-input reports to the parent process
+        in this form: interned 5-tuples plus ``array('q')`` columns pickle
+        an order of magnitude smaller/faster than per-entry dataclasses.
+        Column order preserves dict insertion order, so
+        :meth:`from_columnar` round-trips byte-identically.
+        """
+        keys: List[Tuple] = []
+        key_id: Dict[FlowKey, int] = {}
+        epochs = []
+        for epoch in self.epochs:
+            flow_cols = tuple(array("q") for _ in range(7))
+            for (key, egress), entry in epoch.flows.items():
+                kid = key_id.get(key)
+                if kid is None:
+                    kid = len(keys)
+                    key_id[key] = kid
+                    keys.append(
+                        (key.src_ip, key.dst_ip, key.src_port, key.dst_port, key.protocol)
+                    )
+                for col, value in zip(
+                    flow_cols,
+                    (
+                        kid,
+                        egress,
+                        entry.pkt_count,
+                        entry.paused_count,
+                        entry.qdepth_sum_pkts,
+                        entry.byte_count,
+                        entry.qdepth_paused_sum_pkts,
+                    ),
+                ):
+                    col.append(value)
+            port_cols = tuple(array("q") for _ in range(5))
+            for port, entry in epoch.ports.items():
+                for col, value in zip(
+                    port_cols,
+                    (
+                        port,
+                        entry.pkt_count,
+                        entry.paused_count,
+                        entry.qdepth_sum_pkts,
+                        entry.pause_rx_count,
+                    ),
+                ):
+                    col.append(value)
+            meter_cols = tuple(array("q") for _ in range(3))
+            for (ingress, egress), volume in epoch.meters.items():
+                meter_cols[0].append(ingress)
+                meter_cols[1].append(egress)
+                meter_cols[2].append(volume)
+            epochs.append(
+                {
+                    "n": epoch.epoch_number,
+                    "flows": flow_cols,
+                    "ports": port_cols,
+                    "meters": meter_cols,
+                }
+            )
+        status_cols = (array("q"), array("q"))
+        for port, remaining in self.port_status.items():
+            status_cols[0].append(port)
+            status_cols[1].append(remaining)
+        return {
+            "switch": self.switch,
+            "collect_time": self.collect_time,
+            "keys": keys,
+            "epochs": epochs,
+            "port_status": status_cols,
+        }
+
+    @classmethod
+    def from_columnar(cls, blob: Dict[str, Any]) -> "SwitchReport":
+        """Rebuild a report from :meth:`to_columnar` output, orders intact."""
+        keys = [FlowKey(*fields) for fields in blob["keys"]]
+        report = cls(switch=blob["switch"], collect_time=blob["collect_time"])
+        for packed in blob["epochs"]:
+            epoch = EpochData(epoch_number=packed["n"])
+            kid_col, egress_col, pkt, paused, qdepth, byte_count, qd_paused = packed["flows"]
+            for i in range(len(kid_col)):
+                key = keys[kid_col[i]]
+                epoch.flows[(key, egress_col[i])] = FlowEntry(
+                    key=key,
+                    egress_port=egress_col[i],
+                    pkt_count=pkt[i],
+                    paused_count=paused[i],
+                    qdepth_sum_pkts=qdepth[i],
+                    byte_count=byte_count[i],
+                    qdepth_paused_sum_pkts=qd_paused[i],
+                )
+            port_col, ppkt, ppaused, pqdepth, prx = packed["ports"]
+            for i in range(len(port_col)):
+                epoch.ports[port_col[i]] = PortEntry(
+                    port=port_col[i],
+                    pkt_count=ppkt[i],
+                    paused_count=ppaused[i],
+                    qdepth_sum_pkts=pqdepth[i],
+                    pause_rx_count=prx[i],
+                )
+            m_in, m_eg, m_vol = packed["meters"]
+            for i in range(len(m_in)):
+                epoch.meters[(m_in[i], m_eg[i])] = m_vol[i]
+            report.epochs.append(epoch)
+        status_ports, status_remaining = blob["port_status"]
+        for i in range(len(status_ports)):
+            report.port_status[status_ports[i]] = status_remaining[i]
+        return report
 
     @staticmethod
     def full_dump_bytes(flow_slots: int, num_ports: int, num_epochs: int) -> int:

@@ -50,6 +50,8 @@ class RoutingTable:
         # the answer is a pure function of this key and of the overrides —
         # the cache is flushed whenever overrides change.
         self._select_cache: Dict[Tuple, int] = {}
+        self.select_cache_hits = 0
+        self.select_cache_misses = 0
         self._build()
 
     # -- construction --------------------------------------------------------
@@ -128,7 +130,9 @@ class RoutingTable:
             cached = None
             cache_key = None
         if cached is not None:
+            self.select_cache_hits += 1
             return cached
+        self.select_cache_misses += 1
         ports = self.ecmp_ports(switch, dst_ip)
         if len(ports) == 1:
             port = ports[0]

@@ -76,6 +76,7 @@ def mbps(value: float) -> float:
 # Fabrics use a handful of (frame size, link speed) combinations, but the
 # conversion runs once per transmitted frame — memoize it.
 _SER_DELAY_CACHE: dict = {}
+SER_DELAY_CACHE_STATS = [0, 0]  # [hits, misses], surfaced via PerfStats
 
 
 def serialization_delay_ns(size_bytes: int, bandwidth_bytes_per_sec: float) -> int:
@@ -92,6 +93,9 @@ def serialization_delay_ns(size_bytes: int, bandwidth_bytes_per_sec: float) -> i
         delay = size_bytes * SEC / bandwidth_bytes_per_sec
         cached = max(1, int(round(delay)))
         _SER_DELAY_CACHE[key] = cached
+        SER_DELAY_CACHE_STATS[1] += 1
+    else:
+        SER_DELAY_CACHE_STATS[0] += 1
     return cached
 
 

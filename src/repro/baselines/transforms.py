@@ -27,6 +27,7 @@ def _copy_shell(report: SwitchReport) -> SwitchReport:
         switch=report.switch,
         collect_time=report.collect_time,
         port_status=dict(report.port_status),
+        faults=report.faults,
     )
 
 

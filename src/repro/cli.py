@@ -6,10 +6,13 @@ Usage::
     python -m repro run incast-backpressure [--seed N] [--system hawkeye]
                                             [--epoch-us 1048] [--threshold 3.0]
                                             [--dot out.dot]
+    python -m repro chaos [--loss-rates 0 0.05 0.1] [--chaos-seed N]
 
 ``run`` builds the scenario, attaches the chosen diagnosis system, runs
 the simulation and prints the paper-style diagnosis report (optionally
-dumping the provenance graph as Graphviz).
+dumping the provenance graph as Graphviz).  ``chaos`` sweeps control-path
+loss across the anomaly scenarios under a seeded fault plan and reports
+how gracefully diagnosis degrades.
 """
 
 from __future__ import annotations
@@ -22,6 +25,36 @@ from .baselines import SystemKind
 from .experiments import RunConfig, diagnosis_correct, run_scenario
 from .units import usec
 from .workloads import SCENARIO_BUILDERS
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid rate: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"rate must be in [0, 1], got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,9 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=SystemKind.HAWKEYE.value,
         help="diagnosis system under test (default: hawkeye)",
     )
-    run.add_argument("--epoch-us", type=float, default=1048.576,
+    run.add_argument("--epoch-us", type=_positive_float, default=1048.576,
                      help="telemetry epoch size in microseconds")
-    run.add_argument("--threshold", type=float, default=3.0,
+    run.add_argument("--threshold", type=_positive_float, default=3.0,
                      help="detection threshold as a multiple of base RTT")
     run.add_argument("--dot", metavar="FILE",
                      help="write the provenance graph as Graphviz DOT")
@@ -59,13 +92,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--systems", nargs="+",
                        choices=[k.value for k in SystemKind],
                        default=[SystemKind.HAWKEYE.value])
-    sweep.add_argument("--epochs-us", nargs="+", type=float, default=[1048.576])
-    sweep.add_argument("--thresholds", nargs="+", type=float, default=[3.0])
-    sweep.add_argument("--seeds", type=int, default=2,
+    sweep.add_argument("--epochs-us", nargs="+", type=_positive_float,
+                       default=[1048.576])
+    sweep.add_argument("--thresholds", nargs="+", type=_positive_float,
+                       default=[3.0])
+    sweep.add_argument("--seeds", type=_positive_int, default=2,
                        help="traces per grid cell (default 2)")
-    sweep.add_argument("--jobs", type=int, default=1,
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for the sweep (default 1 = serial)")
     sweep.add_argument("--csv", metavar="FILE", help="write results as CSV")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep fault-injection loss rates across the anomaly scenarios",
+    )
+    # No ``choices=`` here: argparse rejects the empty list nargs="*"
+    # produces when the positional is omitted; validated in _cmd_chaos.
+    chaos.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                       help="scenarios to stress (default: the chaos five)")
+    chaos.add_argument("--loss-rates", nargs="+", type=_rate,
+                       default=[0.0, 0.05, 0.10, 0.25],
+                       help="polling/report loss probabilities to sweep")
+    chaos.add_argument("--chaos-seed", type=int, default=1,
+                       help="fault-plan seed (incident log is a pure "
+                            "function of seed + plan)")
+    chaos.add_argument("--no-retries", action="store_true",
+                       help="disable agent retransmission and DMA retries")
+    chaos.add_argument("--json", metavar="FILE",
+                       help="write per-cell outcomes as JSON")
     return parser
 
 
@@ -135,6 +189,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             rate = stats["hits"] / total if total else 0.0
             print(f"  cache {name:24s} {stats['hits']:>9,d} hits / "
                   f"{stats['misses']:>7,d} misses ({rate:.0%})")
+        for name, count in sorted(result.perf.faults.items()):
+            print(f"  fault {name:24s} {count:>9,d}")
     return 0 if verdict else 2
 
 
@@ -173,12 +229,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import CHAOS_SCENARIOS, RetryPolicy, chaos_sweep, summarize
+
+    for name in args.scenarios:
+        if name not in SCENARIO_BUILDERS:
+            print(f"unknown scenario {name!r}; choose from "
+                  f"{', '.join(sorted(SCENARIO_BUILDERS))}", file=sys.stderr)
+            return 2
+    scenarios = tuple(args.scenarios) if args.scenarios else CHAOS_SCENARIOS
+    retry = None if args.no_retries else RetryPolicy()
+    print(f"chaos sweep: {len(scenarios)} scenarios x "
+          f"{len(args.loss_rates)} loss rates (fault seed {args.chaos_seed}, "
+          f"retries {'off' if retry is None else 'on'})")
+    outcomes = chaos_sweep(
+        scenarios=scenarios,
+        loss_rates=tuple(args.loss_rates),
+        seed=args.chaos_seed,
+        retry=retry,
+    )
+    header = (f"{'scenario':24s} {'loss':>6s} {'verdict':>9s} "
+              f"{'confidence':>10s} {'complete':>8s} {'incidents':>9s}")
+    print("\n" + header)
+    print("-" * len(header))
+    for o in outcomes:
+        if o.crashed:
+            verdict = "CRASH"
+        elif not o.diagnosed:
+            verdict = "none"
+        else:
+            verdict = "correct" if o.correct else "wrong"
+        incidents = sum(o.fault_counters.values())
+        print(f"{o.scenario:24s} {o.loss_rate:>6.0%} {verdict:>9s} "
+              f"{o.confidence:>10s} {o.completeness:>8.0%} {incidents:>9d}")
+    tally = summarize(outcomes)
+    print(f"\n{tally['cells']} cells: {tally['correct']} correct "
+          f"({tally['degraded']} degraded confidence), "
+          f"{tally['no_verdict']} no verdict, {tally['crashed']} crashed, "
+          f"{tally['wrong_full_confidence']} wrong-at-full-confidence")
+    if args.json:
+        import json as _json
+
+        payload = {
+            "seed": args.chaos_seed,
+            "summary": tally,
+            "cells": [
+                {
+                    "scenario": o.scenario,
+                    "loss_rate": o.loss_rate,
+                    "diagnosed": o.diagnosed,
+                    "correct": o.correct,
+                    "confidence": o.confidence,
+                    "completeness": o.completeness,
+                    "fault_counters": dict(o.fault_counters),
+                    "error": o.error,
+                }
+                for o in outcomes
+            ],
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"outcomes written to {args.json}")
+    if tally["crashed"] or tally["wrong_full_confidence"]:
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)
 
 

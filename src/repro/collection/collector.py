@@ -15,12 +15,23 @@ epoch window in practice — and model the CPU poll latency analytically in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..faults.injector import (
+    DMA_FAIL,
+    DMA_STALE,
+    REPORT_DELAYED,
+    REPORT_LOST,
+    REPORT_TRUNCATED,
+)
 from ..sim.packet import Packet
 from ..telemetry.hawkeye import HawkeyeDeployment
 from ..telemetry.snapshot import SwitchReport
 from ..units import usec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import RetryPolicy
 
 MTU_BYTES = 1500
 # Usable PHV budget for data-plane packet generation (the alternative the
@@ -39,6 +50,13 @@ class CollectionStats:
     full_dump_bytes: int = 0
     report_packets_cpu: int = 0
     report_packets_dataplane: int = 0
+    # Reliability accounting (only nonzero under fault injection).
+    dma_retries: int = 0
+    dma_reads_abandoned: int = 0
+    stale_reads: int = 0
+    reports_lost: int = 0
+    reports_truncated: int = 0
+    reports_delayed: int = 0
 
 
 class TelemetryCollector:
@@ -50,11 +68,17 @@ class TelemetryCollector:
         lookback_epochs: Optional[int] = None,
         dedup_interval_ns: int = usec(100),
         read_delay_ns: Optional[int] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry: Optional["RetryPolicy"] = None,
     ) -> None:
         """``read_delay_ns`` models the gap between the polling packet's CPU
         mirror and the actual register DMA read (tens of ms on Tofino; here
         defaulted to a quarter of the epoch-ring window so the read still
-        lands inside the history the ring retains)."""
+        lands inside the history the ring retains).
+
+        ``injector`` subjects the register DMA and the report channel to a
+        fault plan; ``retry`` bounds the DMA retry budget that answers it.
+        """
         self.deployment = deployment
         self.lookback_epochs = lookback_epochs
         self.dedup_interval_ns = dedup_interval_ns
@@ -62,6 +86,8 @@ class TelemetryCollector:
             window = deployment.config.scheme.window_ns
             read_delay_ns = min(usec(300), window // 4)
         self.read_delay_ns = read_delay_ns
+        self._injector = injector
+        self._retry = retry
         self.reports: List[SwitchReport] = []
         self.stats = CollectionStats()
         self._last_collect: Dict[str, int] = {}
@@ -69,6 +95,10 @@ class TelemetryCollector:
         # Freshest report per switch, maintained incrementally so the
         # analyzer-side lookup is O(switches) rather than O(reports).
         self._latest: Dict[str, SwitchReport] = {}
+        # Sim time of the most recent report delivery (retransmission probe),
+        # plus per-switch delivery times for the path-coverage probe.
+        self._last_delivery_ns = -1
+        self._delivery_times: Dict[str, int] = {}
 
     def on_polling_mirror(self, switch_name: str, pkt: Packet, now: int) -> None:
         """CPU-mirror notification: maybe start an asynchronous register read."""
@@ -98,16 +128,110 @@ class TelemetryCollector:
                 self._pending[switch_name] = 0
                 self.collect(switch_name, now)
 
-    def collect(self, switch_name: str, now: int) -> SwitchReport:
-        """Read one switch's registers into a report (CPU-filtered)."""
+    def collect(
+        self, switch_name: str, now: int, _attempt: int = 0
+    ) -> Optional[SwitchReport]:
+        """Read one switch's registers into a report (CPU-filtered).
+
+        Fault-free, this snapshots and delivers synchronously.  Under an
+        injector the read may fail (retried on the bounded DMA budget) or go
+        stale, and the resulting report may be lost, truncated or delayed on
+        its way to the analyzer — ``None`` means no report was delivered (or
+        even produced) by this attempt.
+        """
         telem = self.deployment.for_switch(switch_name)
-        report = telem.snapshot(now, self.lookback_epochs)
-        self.reports.append(report)
-        existing = self._latest.get(switch_name)
-        if existing is None or report.collect_time > existing.collect_time:
-            self._latest[switch_name] = report
-        self._account(report, telem)
+        injector = self._injector
+        if injector is None:
+            report = telem.snapshot(now, self.lookback_epochs)
+            self._deliver(report, telem)
+            return report
+
+        fate = injector.dma_fate(now, switch_name)
+        if fate == DMA_FAIL:
+            budget = self._retry.dma_retry_budget if self._retry is not None else 0
+            if _attempt < budget:
+                self.stats.dma_retries += 1
+                injector.count(
+                    "dma_read_retried", switch_name, now, f"attempt={_attempt + 1}"
+                )
+                self.deployment.network.sim.schedule(
+                    self._retry.dma_retry_delay_ns,
+                    self._collect_retry,
+                    switch_name,
+                    _attempt + 1,
+                )
+            else:
+                self.stats.dma_reads_abandoned += 1
+                injector.count("dma_read_abandoned", switch_name, now)
+            return None
+
+        flags = []
+        read_at = now
+        if fate == DMA_STALE:
+            # The DMA returned an old window but is timestamped fresh: the
+            # analyzer sees a current-looking report with aged content.
+            read_at = max(0, now - injector.plan.dma_stale_age_ns)
+            flags.append("stale")
+            self.stats.stale_reads += 1
+        report = telem.snapshot(read_at, self.lookback_epochs)
+        report.collect_time = now
+        skew = injector.clock_skew_for(switch_name)
+        if skew:
+            report.collect_time = max(0, now + skew)
+            flags.append("skewed")
+
+        report_fate, delay_ns = injector.report_fate(now, switch_name)
+        if report_fate == REPORT_LOST:
+            self.stats.reports_lost += 1
+            return None
+        if report_fate == REPORT_TRUNCATED:
+            report.epochs = report.epochs[-1:]
+            flags.append("truncated")
+            self.stats.reports_truncated += 1
+        if flags:
+            report.faults = tuple(flags)
+        if report_fate == REPORT_DELAYED:
+            self.stats.reports_delayed += 1
+            self.deployment.network.sim.schedule(
+                delay_ns, self._deliver, report, telem
+            )
+            return report
+        self._deliver(report, telem)
         return report
+
+    def _collect_retry(self, switch_name: str, attempt: int) -> None:
+        self.collect(
+            switch_name, self.deployment.network.sim.now, _attempt=attempt
+        )
+
+    def _deliver(self, report: SwitchReport, telem) -> None:
+        """A report packet reached the analyzer: index and account it."""
+        self.reports.append(report)
+        existing = self._latest.get(report.switch)
+        if existing is None or report.collect_time > existing.collect_time:
+            self._latest[report.switch] = report
+        self._account(report, telem)
+        now = self.deployment.network.sim.now
+        self._last_delivery_ns = now
+        self._delivery_times[report.switch] = now
+
+    def has_report_since(self, victim, since_ns: int) -> bool:
+        """Has *any* report been delivered at/after ``since_ns``?  The
+        coarse retransmission probe (victim-agnostic: a trigger's polling
+        packet is judged answered by the collection wave it started)."""
+        return self._last_delivery_ns >= since_ns
+
+    def switches_reported_since(self, since_ns: int) -> set:
+        """The switches whose reports reached the analyzer at/after
+        ``since_ns``.  The path-coverage probe compares this against the
+        victim's expected switch set: a single lost report (or a polling
+        packet dying mid-path) shows up as a hole here, which the coarse
+        any-report probe cannot see."""
+        return {
+            name
+            for name, t in self._delivery_times.items()
+            if t >= since_ns
+        }
 
     def _account(self, report: SwitchReport, telem) -> None:
         filtered = report.payload_bytes()

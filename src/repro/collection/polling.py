@@ -24,13 +24,16 @@ walk around deadlock loops after one full cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..sim.network import Network
 from ..sim.packet import Packet, PollingFlag
 from ..sim.switch import Switch
 from ..telemetry.hawkeye import HawkeyeDeployment
 from ..units import msec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 
 @dataclass
@@ -55,19 +58,32 @@ class PollingEngine:
         network: Network,
         deployment: HawkeyeDeployment,
         config: Optional[PollingConfig] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.network = network
         self.deployment = deployment
         self.config = config if config is not None else PollingConfig()
+        self._injector = injector
         # (switch, victim, flag_bit, ingress) -> last handled time
         self._seen: Dict[Tuple, int] = {}
         # victim -> switches its polling packets visited (causal trace set)
         self._victim_switches: Dict = {}
         self._mirror_listeners: List = []
         self.polling_packets_forwarded = 0
-        self.polling_packets_dropped = 0
+        self.polling_packets_suppressed = 0
+        self.polling_packets_lost = 0
         for name in deployment.telemetry:
             network.switches[name].polling_handler = self._handle
+
+    @property
+    def polling_packets_dropped(self) -> int:
+        """Deprecated alias for :attr:`polling_packets_suppressed`.
+
+        The counter tallies per-switch dedup *suppressions*, never actual
+        packet drops (injected loss is :attr:`polling_packets_lost`); the
+        old name misled.  Kept so existing callers and tests keep working.
+        """
+        return self.polling_packets_suppressed
 
     def add_mirror_listener(self, fn) -> None:
         """``fn(switch_name, pkt, now)`` is the CPU-mirror notification."""
@@ -77,12 +93,31 @@ class PollingEngine:
         """Switches a victim's polling packets visited — its causal trace."""
         return set(self._victim_switches.get(victim, ()))
 
+    def reset_victim(self, victim) -> None:
+        """Reopen the per-victim dedup windows (retransmission support).
+
+        The agent calls this before retransmitting a lost polling packet:
+        the retransmission models a new trace generation in the polling
+        header, so switches that forwarded the previous generation must
+        forward this one too or the re-trace dies at the first hop.
+        """
+        for key in [k for k in self._seen if k[1] == victim]:
+            del self._seen[key]
+
     # -- the data-plane logic ---------------------------------------------------
 
     def _handle(self, switch: Switch, pkt: Packet, ingress_port: int) -> List[Tuple[int, PollingFlag]]:
         assert pkt.flow is not None
         now = switch.sim.now
         victim = pkt.flow
+        if self._injector is not None and not self._injector.polling_fate(
+            now, switch.name
+        ):
+            # Lost or corrupted on the hop into this switch: no CPU mirror,
+            # no forwarding — the trace is truncated here until the agent's
+            # retransmission (if enabled) replays it.
+            self.polling_packets_lost += 1
+            return []
         flag: PollingFlag = pkt.polling_flag
         telem = self.deployment.for_switch(switch.name)
         lookback = self.config.lookback_epochs
@@ -96,7 +131,7 @@ class PollingEngine:
         outputs: List[Tuple[int, PollingFlag]] = []
 
         if flag.traces_victim_path:
-            if not self._dropped(switch.name, victim, "victim", None, now):
+            if not self._suppressed(switch.name, victim, "victim", None, now):
                 egress = self.network.routing.select_port(
                     switch.name, victim.dst_ip, victim
                 )
@@ -110,7 +145,7 @@ class PollingEngine:
                 # Destination ToR reached: victim-path tracing terminates.
 
         if flag.traces_pfc:
-            if not self._dropped(switch.name, victim, "pfc", ingress_port, now):
+            if not self._suppressed(switch.name, victim, "pfc", ingress_port, now):
                 outputs.extend(
                     self._causality_multicast(switch, telem, victim, ingress_port, now)
                 )
@@ -144,11 +179,11 @@ class PollingEngine:
             outputs.append((port_no, PollingFlag.PFC_CAUSALITY))
         return outputs
 
-    def _dropped(self, switch_name: str, victim, kind: str, ingress, now: int) -> bool:
+    def _suppressed(self, switch_name: str, victim, kind: str, ingress, now: int) -> bool:
         key = (switch_name, victim, kind, ingress)
         last = self._seen.get(key)
         if last is not None and now - last < self.config.dedup_interval_ns:
-            self.polling_packets_dropped += 1
+            self.polling_packets_suppressed += 1
             return True
         self._seen[key] = now
         return False

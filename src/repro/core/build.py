@@ -112,6 +112,11 @@ class AnnotatedGraph:
     port_meta: Dict[PortRef, PortMeta] = field(default_factory=dict)
     flow_port_meta: Dict[Tuple[FlowKey, PortRef], FlowPortMeta] = field(default_factory=dict)
     window_ns: int = 0
+    # Switches the PFC causality provably continues into but whose telemetry
+    # never arrived (lost polling packets / reports): a paused egress port
+    # points at them, yet no report covers them.  Diagnoses built from this
+    # graph are incomplete and must say so.
+    missing_switches: set = field(default_factory=set)
 
 
 def build_provenance(
@@ -168,7 +173,10 @@ def build_provenance(
             meters = agg_meters.get(down_switch)
             down_ports = agg_ports.get(down_switch)
             if meters is None or down_ports is None:
-                continue  # downstream telemetry not collected
+                # Downstream telemetry not collected: the causality chain has
+                # a frontier gap the diagnosis must be qualified with.
+                annotated.missing_switches.add(down_switch)
+                continue
             relevant = {
                 pair[1]: vol
                 for pair, vol in meters.items()

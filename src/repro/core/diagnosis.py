@@ -91,6 +91,10 @@ class Diagnoser:
             self._normal_contention(annotated, victim, diagnosis, dedup)
 
         self._attach_spreading_flows(annotated, victim, diagnosis)
+        if annotated.missing_switches:
+            # Frontier gaps the graph builder marked: the PFC causality
+            # provably continues into switches we have no telemetry for.
+            diagnosis.missing_switches = sorted(annotated.missing_switches)
         return diagnosis
 
     # -- Algorithm 2: CheckPortNode ----------------------------------------------------

@@ -95,10 +95,29 @@ class Finding:
 
 @dataclass
 class Diagnosis:
-    """The full result for one victim complaint."""
+    """The full result for one victim complaint.
+
+    ``completeness``/``missing_switches``/``degraded_reports`` qualify the
+    verdict when the telemetry behind it was partial or fault-marked: a
+    degraded diagnosis is still reported (the operator gets the best
+    available answer) but never asserted with full confidence.
+    """
 
     victim: FlowKey
     findings: List[Finding] = field(default_factory=list)
+    # Fraction of the causally expected switches whose telemetry arrived.
+    completeness: float = 1.0
+    # Switches the diagnosis needed but had no report for (sorted).
+    missing_switches: List[str] = field(default_factory=list)
+    # "switch[flag,...]" for used reports carrying fault markers (sorted).
+    degraded_reports: List[str] = field(default_factory=list)
+
+    @property
+    def confidence(self) -> str:
+        """``"full"`` only when the telemetry was complete and clean."""
+        if self.completeness >= 1.0 and not self.missing_switches and not self.degraded_reports:
+            return "full"
+        return "degraded"
 
     def primary(self) -> Finding:
         """The most severe finding (or an UNKNOWN placeholder)."""
@@ -122,4 +141,13 @@ class Diagnosis:
             sorted(self.findings, key=lambda f: -f.severity), start=1
         ):
             lines.append(f"  [{i}] {finding.describe()}")
+        # Only qualified verdicts mention telemetry health, so fault-free
+        # output is byte-identical to the pre-reliability pipeline.
+        if self.confidence != "full":
+            parts = [f"confidence: degraded (completeness {self.completeness:.0%}"]
+            if self.missing_switches:
+                parts.append("missing: " + ", ".join(self.missing_switches))
+            if self.degraded_reports:
+                parts.append("faulty reports: " + ", ".join(self.degraded_reports))
+            lines.append("  " + "; ".join(parts) + ")")
         return "\n".join(lines)

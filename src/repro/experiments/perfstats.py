@@ -37,6 +37,9 @@ class PerfStats:
     # before/after differencing, plus the per-run instance caches (ECMP
     # select, telemetry snapshot/epoch materialization).
     caches: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Fault-injection and reliability counters (chaos runs): incident kind
+    # or recovery action -> count.  Empty on fault-free runs.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_run(
@@ -45,6 +48,7 @@ class PerfStats:
         sim: Any,
         wall_s: float,
         caches: Optional[Dict[str, Dict[str, int]]] = None,
+        faults: Optional[Dict[str, int]] = None,
     ) -> "PerfStats":
         """Snapshot a :class:`~repro.sim.engine.Simulator`'s counters."""
         events = sim.events_run
@@ -57,6 +61,7 @@ class PerfStats:
             events_purged=sim.events_purged,
             compactions=sim.compactions,
             caches=caches if caches is not None else {},
+            faults=faults if faults is not None else {},
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -31,6 +31,8 @@ from ..collection.agent import AgentConfig, DetectionAgent, TriggerEvent
 from ..collection.collector import TelemetryCollector
 from ..collection.polling import PollingConfig, PollingEngine
 from ..core.build import AnnotatedGraph, build_provenance
+from ..faults.injector import make_injector
+from ..faults.plan import FaultPlan, RetryPolicy
 from ..core.diagnosis import Diagnoser
 from ..core.report import Diagnosis
 from ..sim.packet import POLLING_PACKET_SIZE, FlowKey
@@ -54,6 +56,11 @@ class RunConfig:
     flow_slots: int = 4096
     exclude_paused_in_contention: bool = True  # ablation knob
     use_meters: bool = True  # ablation knob: False = ITSY-style 1-bit presence
+    # Chaos testing: a seeded fault plan for the collection pipeline, and
+    # the retry/backoff policy that answers it.  ``faults=None`` (or an
+    # all-zero plan) keeps the pipeline on the fault-free fast path.
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(
@@ -84,6 +91,10 @@ class RunResult:
     events_run: int
     data_pkt_hops: int
     perf: Optional[PerfStats] = None
+    # Chaos accounting: per-fault-type/recovery counters and the ordered
+    # incident log (both empty on fault-free runs).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    fault_incidents: List[str] = field(default_factory=list)
 
     def primary_outcome(self) -> Optional[VictimOutcome]:
         """The earliest-complaining victim's outcome (the paper diagnoses
@@ -142,6 +153,41 @@ def select_reports(
     return chosen
 
 
+def _qualify_diagnosis(
+    diagnosis: Diagnosis,
+    net,
+    engine: Optional[PollingEngine],
+    victim,
+    reports: Dict[str, SwitchReport],
+) -> None:
+    """Stamp a diagnosis with how complete and clean its telemetry was.
+
+    The *expected* switch set is what the analyzer can legitimately know
+    without ground truth: the victim's routed path, plus whatever the
+    polling trace actually covered, plus the frontier gaps the provenance
+    builder marked.  Lost polling packets shrink the trace and lost reports
+    shrink coverage, so the shortfall is exactly what degraded.
+    """
+    expected: Set[str] = set(
+        net.routing.switch_path(victim.src_host, victim.key.dst_ip, victim.key)
+    )
+    if engine is not None:
+        expected |= engine.switches_traced_for(victim.key)
+    expected |= set(diagnosis.missing_switches)
+    covered = set(reports)
+    diagnosis.completeness = (
+        len(expected & covered) / len(expected) if expected else 1.0
+    )
+    diagnosis.missing_switches = sorted(
+        set(diagnosis.missing_switches) | (expected - covered)
+    )
+    diagnosis.degraded_reports = sorted(
+        f"{name}[{','.join(report.faults)}]"
+        for name, report in reports.items()
+        if report.faults
+    )
+
+
 def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:
     """The switches a diagnosis provably needs: the victim's path, the PFC
     loop (if any) and the initial congestion switch."""
@@ -167,10 +213,13 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     caches_before = global_cache_counters()
     ecmp_before = (net.routing.select_cache_hits, net.routing.select_cache_misses)
 
+    injector = make_injector(config.faults)
     deployment = HawkeyeDeployment(
         net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
     )
-    collector = TelemetryCollector(deployment)
+    collector = TelemetryCollector(
+        deployment, injector=injector, retry=config.retry
+    )
     engine: Optional[PollingEngine] = None
     if kind.uses_polling_packets or kind.pfc_blind:
         # PFC-blind baselines still collect reactively along the victim path
@@ -180,12 +229,43 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
             net,
             deployment,
             PollingConfig(trace_pfc=kind.traces_pfc, use_meters=config.use_meters),
+            injector=injector,
         )
         engine.add_mirror_listener(collector.on_polling_mirror)
 
     agent = DetectionAgent(
-        net, AgentConfig(threshold_multiplier=config.threshold_multiplier)
+        net,
+        AgentConfig(threshold_multiplier=config.threshold_multiplier),
+        retry=config.retry,
+        injector=injector,
     )
+    if config.retry is not None:
+        if engine is not None:
+            # Path-coverage probe: a trigger is answered only once every
+            # switch the analyzer will want — the victim's routed path plus
+            # whatever the polling trace reached — has delivered a report
+            # the diagnosis would accept (at/after the trigger, or within
+            # the ``select_reports`` slack just before it).  A single lost
+            # report, or a polling packet dying mid-path, leaves a hole
+            # here and drives a retransmission.
+            probe_slack_ns = usec(200)
+
+            def _path_probe(victim_key: FlowKey, since_ns: int) -> bool:
+                src_host = net.topology.host_of_ip(victim_key.src_ip)
+                expected = set(
+                    net.routing.switch_path(
+                        src_host, victim_key.dst_ip, victim_key
+                    )
+                )
+                expected |= engine.switches_traced_for(victim_key)
+                return expected <= collector.switches_reported_since(
+                    since_ns - probe_slack_ns
+                )
+
+            agent.set_report_probe(_path_probe)
+            agent.add_retransmit_listener(engine.reset_victim)
+        else:
+            agent.set_report_probe(collector.has_report_since)
     if kind.collects_everywhere:
         # Full-network collection is subject to the same CPU read latency as
         # polling-driven collection.
@@ -239,6 +319,7 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         diagnosis = diagnoser.diagnose(
             annotated, victim.key, victim_path_ports=victim_path
         )
+        _qualify_diagnosis(diagnosis, net, engine, victim, reports)
         outcomes.append(
             VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
         )
@@ -274,8 +355,34 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     }
     for name, (hits, misses) in deployment.cache_counters().items():
         cache_stats[name] = {"hits": hits, "misses": misses}
+
+    fault_counters: Dict[str, int] = {}
+    fault_incidents: List[str] = []
+    if injector is not None:
+        fault_counters.update(injector.stats)
+        fault_incidents = injector.incident_log()
+    for name, value in (
+        ("agent_retransmissions", agent.retransmissions),
+        ("agent_retries_recovered", agent.retries_recovered),
+        ("agent_retries_exhausted", agent.retries_exhausted),
+        ("agent_restarts", agent.restarts),
+        ("polling_packets_lost", engine.polling_packets_lost if engine else 0),
+        ("dma_retries", collector.stats.dma_retries),
+        ("dma_reads_abandoned", collector.stats.dma_reads_abandoned),
+        ("stale_reads", collector.stats.stale_reads),
+        ("reports_lost", collector.stats.reports_lost),
+        ("reports_truncated", collector.stats.reports_truncated),
+        ("reports_delayed", collector.stats.reports_delayed),
+    ):
+        if value:
+            fault_counters[name] = value
+
     perf = PerfStats.from_run(
-        scenario.name, net.sim, time.perf_counter() - wall_start, caches=cache_stats
+        scenario.name,
+        net.sim,
+        time.perf_counter() - wall_start,
+        caches=cache_stats,
+        faults=fault_counters,
     )
 
     return RunResult(
@@ -291,6 +398,8 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         events_run=net.sim.events_run,
         data_pkt_hops=data_pkt_hops,
         perf=perf,
+        fault_counters=fault_counters,
+        fault_incidents=fault_incidents,
     )
 
 
@@ -342,6 +451,11 @@ class RunSummary:
     polling_packets: int
     collections: int
     perf: Optional[PerfStats] = None
+    # Degradation qualifiers of the primary diagnosis (chaos runs).
+    completeness: float = 1.0
+    confidence: str = "full"
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    fault_incidents: List[str] = field(default_factory=list)
     # The primary diagnosis's input telemetry in the columnar wire format
     # (switch -> SwitchReport.to_columnar()): flat interned arrays pickle
     # far smaller and faster across the worker boundary than per-entry
@@ -390,6 +504,10 @@ def summarize_run(
         polling_packets=result.polling_packets,
         collections=result.collections,
         perf=result.perf,
+        completeness=diagnosis.completeness if diagnosis is not None else 1.0,
+        confidence=diagnosis.confidence if diagnosis is not None else "full",
+        fault_counters=dict(result.fault_counters),
+        fault_incidents=list(result.fault_incidents),
         primary_reports_columnar=reports_columnar,
     )
 

@@ -1,0 +1,152 @@
+"""Deterministic fault plans for the collection pipeline.
+
+Hawkeye's control loop — agent trigger, polling packet, CPU mirror,
+register DMA, report shipping, analysis — rides the very fabric it
+diagnoses.  A :class:`FaultPlan` describes, as seeded probabilities, the
+ways each hop can fail in production:
+
+- polling packets crossing PFC-paused ports are lost or corrupted
+  (lossy control VLAN sharing the congested lossless class);
+- report packets from the switch CPU are best-effort UDP: lost,
+  truncated by MTU pressure, delayed or reordered;
+- the switch-CPU register DMA fails outright or returns a stale window
+  (Tofino REGISTER_SYNC contention with other control-plane readers);
+- the DPU agent restarts, losing its RTT state and missing triggers;
+- per-switch clocks skew, so report timestamps disagree.
+
+A plan is pure data (frozen, picklable); all randomness lives in the
+:class:`~repro.faults.injector.FaultInjector` built from it, which draws
+from per-category streams seeded by ``seed`` so the same plan always
+yields the same incident sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..units import usec
+
+_RATE_FIELDS = (
+    "polling_loss_rate",
+    "polling_corrupt_rate",
+    "report_loss_rate",
+    "report_truncate_rate",
+    "report_delay_rate",
+    "dma_failure_rate",
+    "dma_stale_rate",
+    "agent_restart_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of every fault the chaos harness can inject."""
+
+    seed: int = 1
+
+    # -- polling packets (in the data plane, per switch hop) ----------------
+    polling_loss_rate: float = 0.0
+    polling_corrupt_rate: float = 0.0  # CRC-failed packets are discarded
+
+    # -- report packets (switch CPU -> analyzer, best effort) ---------------
+    report_loss_rate: float = 0.0
+    report_truncate_rate: float = 0.0  # MTU pressure: only the newest epoch survives
+    report_delay_rate: float = 0.0
+    report_delay_max_ns: int = usec(500)
+
+    # -- switch-CPU register collection -------------------------------------
+    dma_failure_rate: float = 0.0
+    dma_stale_rate: float = 0.0
+    dma_stale_age_ns: int = usec(500)
+
+    # -- host agent ----------------------------------------------------------
+    agent_restart_rate: float = 0.0  # per stall-check tick
+    agent_restart_blackout_ns: int = usec(100)
+
+    # -- clocks --------------------------------------------------------------
+    clock_skew_max_ns: int = 0  # per-switch constant offset in [-max, +max]
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("report_delay_max_ns", "dma_stale_age_ns",
+                     "agent_restart_blackout_ns", "clock_skew_max_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS) or (
+            self.clock_skew_max_ns > 0
+        )
+
+    @classmethod
+    def lossy(cls, loss_rate: float, seed: int = 1) -> "FaultPlan":
+        """The canonical chaos-sweep plan: symmetric control-path loss.
+
+        Polling packets and report packets are dropped independently with
+        the same probability — the two directions of the control loop share
+        the congested fabric.
+        """
+        return cls(
+            seed=seed,
+            polling_loss_rate=loss_rate,
+            report_loss_rate=loss_rate,
+        )
+
+    def describe(self) -> str:
+        active = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if f.name != "seed" and getattr(self, f.name) != f.default
+        ]
+        return f"FaultPlan(seed={self.seed}" + (
+            ", " + ", ".join(active) if active else ""
+        ) + ")"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """End-to-end reliability knobs for the collection pipeline.
+
+    The agent retransmits a victim's polling packet when no report has
+    been delivered within ``report_timeout_ns``, backing off exponentially
+    with seeded jitter; the collector retries failed register DMA reads on
+    a bounded budget.  All timers are sim-time, so runs stay deterministic.
+    """
+
+    # Agent-side polling retransmission.
+    report_timeout_ns: int = usec(300)
+    max_retries: int = 3
+    backoff_factor: float = 2.0
+    jitter_ns: int = usec(20)  # uniform [0, jitter_ns), drawn from the plan seed
+
+    # Collector-side DMA retries.
+    dma_retry_budget: int = 3
+    dma_retry_delay_ns: int = usec(50)
+
+    def __post_init__(self) -> None:
+        if self.report_timeout_ns <= 0:
+            raise ValueError("report_timeout_ns must be positive")
+        if self.max_retries < 0 or self.dma_retry_budget < 0:
+            raise ValueError("retry budgets must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.jitter_ns < 0 or self.dma_retry_delay_ns < 0:
+            raise ValueError("delays must be >= 0")
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Deterministic (pre-jitter) wait before retry ``attempt`` (1-based)."""
+        return int(self.report_timeout_ns * self.backoff_factor ** (attempt - 1))
+
+
+def plan_or_none(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Normalize: a plan that injects nothing is treated as no plan at all,
+    keeping the fault-free hot path free of per-event injector calls."""
+    if plan is None or not plan.enabled:
+        return None
+    return plan

@@ -44,6 +44,10 @@ class SwitchReport:
     epochs: List[EpochData] = field(default_factory=list)
     # port -> remaining pause time (ns) at collection, 0 if unpaused
     port_status: Dict[int, int] = field(default_factory=dict)
+    # Fault-injection quality markers ("stale", "truncated", "skewed"): a
+    # non-empty tuple means this report's content is suspect and any
+    # diagnosis consuming it must be flagged as degraded.
+    faults: Tuple[str, ...] = ()
     _agg_flows: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
     _agg_ports: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
     _agg_meters: Optional[Dict] = field(default=None, init=False, repr=False, compare=False)
@@ -200,6 +204,7 @@ class SwitchReport:
             "keys": keys,
             "epochs": epochs,
             "port_status": status_cols,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -237,6 +242,7 @@ class SwitchReport:
         status_ports, status_remaining = blob["port_status"]
         for i in range(len(status_ports)):
             report.port_status[status_ports[i]] = status_remaining[i]
+        report.faults = tuple(blob.get("faults", ()))
         return report
 
     @staticmethod

@@ -95,6 +95,31 @@ class TestStallDetection:
         net.run(msec(3))
         assert any(t.victim == victim.key for t in agent.triggers)
 
+    def test_deadlocked_flow_triggers_once_per_cooldown(self, tiny_net):
+        """A permanently stalled flow re-triggers exactly on the cooldown
+        cadence: gaps never undercut the window, and the total count is
+        bounded by the run length divided by the cooldown."""
+        net = tiny_net
+        cooldown = usec(500)
+        duration = msec(3)
+        agent = DetectionAgent(
+            net,
+            AgentConfig(
+                threshold_multiplier=50.0,  # RTT path silent: stalls only
+                stall_timeout_ns=usec(300),
+                cooldown_ns=cooldown,
+            ),
+        )
+        net.hosts["B"].start_pfc_injection(msec(10))
+        victim = net.make_flow("A", "B", 100 * KB, usec(50))
+        net.start_flow(victim)
+        net.run(duration)
+        times = [t.time_ns for t in agent.triggers if t.victim == victim.key]
+        assert len(times) >= 2  # the stall persists across several windows
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= cooldown for gap in gaps)
+        assert len(times) <= duration // cooldown + 1
+
     def test_healthy_flow_does_not_stall_trigger(self, tiny_net):
         agent = DetectionAgent(
             tiny_net,

@@ -70,8 +70,37 @@ class TestVictimPathForwarding:
         net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
         net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
         net.run(net.sim.now + msec(1))
-        assert engine.polling_packets_dropped > 0
+        assert engine.polling_packets_suppressed > 0
         assert engine.polling_packets_forwarded == 2  # second copy went nowhere
+
+    def test_dropped_counter_is_deprecated_alias(self):
+        topo, net = make_line_net()
+        dep, collector, engine = deploy(net)
+        flow = net.make_flow("H1_0", "H3_0", 20 * KB, usec(1))
+        net.start_flow(flow)
+        net.run(usec(200))
+        net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
+        net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
+        net.run(net.sim.now + msec(1))
+        assert engine.polling_packets_dropped == engine.polling_packets_suppressed
+        assert engine.polling_packets_dropped > 0
+
+    def test_reset_victim_reopens_dedup(self):
+        topo, net = make_line_net()
+        dep, collector, engine = deploy(net)
+        flow = net.make_flow("H1_0", "H3_0", 20 * KB, usec(1))
+        net.start_flow(flow)
+        net.run(usec(200))
+        net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
+        net.run(net.sim.now + msec(1))
+        assert engine.polling_packets_forwarded == 2
+        # Within the dedup interval a plain re-injection goes nowhere, but a
+        # reset (a retransmission's new trace generation) re-walks the path.
+        engine.reset_victim(flow.key)
+        net.hosts["H1_0"].inject_polling(flow.key, PollingFlag.VICTIM_PATH)
+        net.run(net.sim.now + msec(1))
+        assert engine.polling_packets_forwarded == 4
+        assert engine.polling_packets_suppressed == 0
 
     def test_trace_pfc_disabled_never_upgrades(self):
         topo, net = make_line_net()

@@ -1,0 +1,86 @@
+"""FaultPlan / RetryPolicy validation and semantics."""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, plan_or_none
+from repro.units import usec
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize("field", [
+        "polling_loss_rate", "polling_corrupt_rate", "report_loss_rate",
+        "report_truncate_rate", "report_delay_rate", "dma_failure_rate",
+        "dma_stale_rate", "agent_restart_rate",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_out_of_range_rate_rejected(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: bad})
+
+    @pytest.mark.parametrize("field", [
+        "report_delay_max_ns", "dma_stale_age_ns",
+        "agent_restart_blackout_ns", "clock_skew_max_ns",
+    ])
+    def test_negative_duration_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -1})
+
+    def test_boundary_rates_accepted(self):
+        FaultPlan(polling_loss_rate=0.0, report_loss_rate=1.0)
+
+
+class TestFaultPlanSemantics:
+    def test_default_plan_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_any_rate_enables(self):
+        assert FaultPlan(dma_failure_rate=0.01).enabled
+
+    def test_clock_skew_alone_enables(self):
+        assert FaultPlan(clock_skew_max_ns=usec(1)).enabled
+
+    def test_lossy_is_symmetric(self):
+        plan = FaultPlan.lossy(0.25, seed=7)
+        assert plan.polling_loss_rate == 0.25
+        assert plan.report_loss_rate == 0.25
+        assert plan.seed == 7
+
+    def test_describe_names_active_faults(self):
+        plan = FaultPlan(seed=3, report_loss_rate=0.5)
+        text = plan.describe()
+        assert "seed=3" in text
+        assert "report_loss_rate=0.5" in text
+        assert "dma_failure_rate" not in text
+
+    def test_plan_or_none_normalizes(self):
+        assert plan_or_none(None) is None
+        assert plan_or_none(FaultPlan()) is None
+        live = FaultPlan.lossy(0.1)
+        assert plan_or_none(live) is live
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"report_timeout_ns": 0},
+        {"max_retries": -1},
+        {"dma_retry_budget": -1},
+        {"backoff_factor": 0.5},
+        {"jitter_ns": -1},
+        {"dma_retry_delay_ns": -1},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_exponential(self):
+        retry = RetryPolicy(report_timeout_ns=usec(300), backoff_factor=2.0)
+        assert retry.backoff_ns(1) == usec(300)
+        assert retry.backoff_ns(2) == usec(600)
+        assert retry.backoff_ns(3) == usec(1200)
+
+    def test_backoff_factor_one_is_constant(self):
+        retry = RetryPolicy(report_timeout_ns=usec(100), backoff_factor=1.0)
+        assert retry.backoff_ns(1) == retry.backoff_ns(4) == usec(100)

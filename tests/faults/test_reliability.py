@@ -1,0 +1,196 @@
+"""End-to-end reliability: differential byte-identity, determinism,
+retry/backoff recovery and graceful degradation under injected faults."""
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_scenario
+from repro.faults import FaultPlan, RetryPolicy
+from repro.telemetry.snapshot import SwitchReport
+from repro.units import usec
+from repro.workloads import SCENARIO_BUILDERS
+
+
+def run(scenario_name, seed=1, **config_kwargs):
+    scenario = SCENARIO_BUILDERS[scenario_name](seed=seed)
+    return scenario, run_scenario(scenario, RunConfig(**config_kwargs))
+
+
+class TestDifferential:
+    """A zero-fault plan must be indistinguishable from no plan at all."""
+
+    @pytest.mark.parametrize(
+        "name", ["incast-backpressure", "normal-contention"]
+    )
+    def test_noop_plan_byte_identical(self, name):
+        _, clean = run(name)
+        _, noop = run(name, faults=FaultPlan(seed=1))
+        assert noop.fault_counters == {}
+        assert noop.fault_incidents == []
+        assert clean.events_run == noop.events_run
+        assert clean.diagnosis().describe() == noop.diagnosis().describe()
+
+    def test_clean_run_full_confidence(self):
+        _, result = run("incast-backpressure")
+        diagnosis = result.diagnosis()
+        assert diagnosis.confidence == "full"
+        assert diagnosis.completeness == 1.0
+        assert diagnosis.missing_switches == []
+        assert diagnosis.degraded_reports == []
+        assert "confidence" not in diagnosis.describe()
+
+
+class TestDeterminism:
+    def test_same_seed_same_incident_log(self):
+        kwargs = dict(faults=FaultPlan.lossy(0.2), retry=RetryPolicy())
+        _, a = run("incast-backpressure", **kwargs)
+        _, b = run("incast-backpressure", **kwargs)
+        assert a.fault_incidents == b.fault_incidents
+        assert a.fault_counters == b.fault_counters
+        assert a.diagnosis().describe() == b.diagnosis().describe()
+
+    def test_different_fault_seed_different_incidents(self):
+        _, a = run("incast-backpressure", faults=FaultPlan.lossy(0.2, seed=1))
+        _, b = run("incast-backpressure", faults=FaultPlan.lossy(0.2, seed=2))
+        assert a.fault_incidents != b.fault_incidents
+
+
+class TestRetryRecovery:
+    def test_retransmission_recovers_lossy_control_path(self):
+        scenario, result = run(
+            "incast-backpressure",
+            faults=FaultPlan.lossy(0.1),
+            retry=RetryPolicy(),
+        )
+        diagnosis = result.diagnosis()
+        assert diagnosis is not None
+        assert diagnosis.anomaly.value == scenario.truth.anomaly.value
+        assert diagnosis.confidence == "full"
+
+    def test_no_retries_degrades_but_never_lies(self):
+        scenario, result = run(
+            "incast-backpressure", faults=FaultPlan.lossy(0.1)
+        )
+        assert sum(result.fault_counters.values()) > 0
+        diagnosis = result.diagnosis()
+        if diagnosis is not None and (
+            diagnosis.anomaly.value != scenario.truth.anomaly.value
+        ):
+            assert diagnosis.confidence == "degraded"
+
+    def test_retries_bounded(self):
+        retry = RetryPolicy(max_retries=2)
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(seed=1, polling_loss_rate=1.0),
+            retry=retry,
+        )
+        # Every trigger's polling trace dies at the first hop, so every
+        # retry fires and exhausts: retransmissions stay within budget.
+        retransmitted = result.fault_counters.get("agent_retransmissions", 0)
+        exhausted = result.fault_counters.get("agent_retries_exhausted", 0)
+        assert exhausted > 0
+        assert retransmitted <= retry.max_retries * exhausted
+
+
+class TestDmaFaults:
+    def test_total_dma_failure_abandons_within_budget(self):
+        _, result = run(
+            "normal-contention",
+            faults=FaultPlan(seed=1, dma_failure_rate=1.0),
+            retry=RetryPolicy(dma_retry_budget=2),
+        )
+        counters = result.fault_counters
+        assert counters.get("dma_retries", 0) > 0
+        assert counters.get("dma_reads_abandoned", 0) > 0
+        assert counters["dma_retries"] == 2 * counters["dma_reads_abandoned"]
+        diagnosis = result.diagnosis()
+        assert diagnosis is None or diagnosis.confidence == "degraded"
+
+    def test_partial_dma_failure_recovered_by_retry(self):
+        scenario, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(seed=1, dma_failure_rate=0.3),
+            retry=RetryPolicy(),
+        )
+        assert result.fault_counters.get("dma_retries", 0) > 0
+        diagnosis = result.diagnosis()
+        assert diagnosis.anomaly.value == scenario.truth.anomaly.value
+
+    def test_stale_reads_flagged_and_degrade_confidence(self):
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(seed=1, dma_stale_rate=1.0),
+        )
+        assert result.fault_counters.get("stale_reads", 0) > 0
+        diagnosis = result.diagnosis()
+        assert diagnosis.confidence == "degraded"
+        assert any("stale" in entry for entry in diagnosis.degraded_reports)
+        assert "confidence: degraded" in diagnosis.describe()
+
+
+class TestReportChannelFaults:
+    def test_truncation_flagged(self):
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(seed=1, report_truncate_rate=1.0),
+        )
+        assert result.fault_counters.get("reports_truncated", 0) > 0
+        diagnosis = result.diagnosis()
+        assert any("truncated" in e for e in diagnosis.degraded_reports)
+
+    def test_delayed_reports_still_delivered(self):
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(
+                seed=1, report_delay_rate=1.0, report_delay_max_ns=usec(100)
+            ),
+        )
+        assert result.fault_counters.get("reports_delayed", 0) > 0
+        assert result.collections > 0
+        assert result.diagnosis() is not None
+
+    def test_clock_skew_flags_reports(self):
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(seed=1, clock_skew_max_ns=usec(50)),
+        )
+        assert result.fault_counters.get("clock_skewed", 0) > 0
+        diagnosis = result.diagnosis()
+        assert any("skewed" in e for e in diagnosis.degraded_reports)
+
+
+class TestAgentRestart:
+    def test_restarts_counted_and_survived(self):
+        _, result = run(
+            "incast-backpressure",
+            faults=FaultPlan(
+                seed=1, agent_restart_rate=0.2,
+                agent_restart_blackout_ns=usec(100),
+            ),
+        )
+        assert result.fault_counters.get("agent_restarts", 0) > 0
+        assert result.fault_counters["agent_restarts"] == (
+            result.fault_counters.get("agent_restarted", 0)
+        )
+
+
+class TestFaultFlagsSurvivePlumbing:
+    def test_columnar_round_trip_preserves_faults(self):
+        report = SwitchReport(switch="SW1", collect_time=123)
+        report.faults = ("stale", "truncated")
+        restored = SwitchReport.from_columnar(report.to_columnar())
+        assert restored.faults == ("stale", "truncated")
+
+    def test_visibility_transforms_preserve_faults(self):
+        from repro.baselines.transforms import (
+            strip_flow_telemetry,
+            strip_pfc_visibility,
+            strip_port_causality,
+        )
+
+        report = SwitchReport(switch="SW1", collect_time=123)
+        report.faults = ("stale",)
+        for transform in (
+            strip_flow_telemetry, strip_port_causality, strip_pfc_visibility
+        ):
+            assert transform(report).faults == ("stale",)

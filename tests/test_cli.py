@@ -40,3 +40,70 @@ class TestRun:
     def test_threshold_flag(self, capsys):
         rc = main(["run", "normal-contention", "--threshold", "2.0"])
         assert rc == 0
+
+
+class TestArgumentValidation:
+    """Non-positive numeric knobs die with an argparse error, not a
+    downstream traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "pfc-storm", "--threshold", "0"],
+        ["run", "pfc-storm", "--threshold", "-1.5"],
+        ["run", "pfc-storm", "--epoch-us", "0"],
+        ["run", "pfc-storm", "--epoch-us", "-10"],
+        ["sweep", "pfc-storm", "--seeds", "0"],
+        ["sweep", "pfc-storm", "--seeds", "-2"],
+        ["sweep", "pfc-storm", "--jobs", "0"],
+        ["sweep", "pfc-storm", "--jobs", "-1"],
+        ["sweep", "pfc-storm", "--epochs-us", "0"],
+        ["sweep", "pfc-storm", "--thresholds", "-3"],
+        ["chaos", "--loss-rates", "1.5"],
+        ["chaos", "--loss-rates", "-0.1"],
+    ])
+    def test_non_positive_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "invalid" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["sweep", "pfc-storm", "--seeds", "two"],
+        ["run", "pfc-storm", "--threshold", "high"],
+    ])
+    def test_non_numeric_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+
+class TestChaos:
+    def test_chaos_single_cell(self, capsys):
+        rc = main(["chaos", "incast-backpressure", "--loss-rates", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "incast-backpressure" in out
+        assert "1 cells" in out
+        assert "0 crashed" in out
+
+    def test_chaos_no_retries(self, capsys):
+        rc = main(["chaos", "incast-backpressure",
+                   "--loss-rates", "0.1", "--no-retries"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "retries off" in out
+
+    def test_chaos_json_output(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        rc = main(["chaos", "normal-contention",
+                   "--loss-rates", "0.05", "--json", str(path)])
+        assert rc == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["cells"] == 1
+        assert payload["cells"][0]["scenario"] == "normal-contention"
+
+    def test_chaos_unknown_scenario(self, capsys):
+        rc = main(["chaos", "no-such-scenario"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err

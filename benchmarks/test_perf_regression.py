@@ -32,6 +32,7 @@ from repro.experiments import (
     run_scenarios_parallel,
     write_bench_json,
 )
+from repro.obs import ObsConfig
 from test_scaling import incast_on_fat_tree
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -147,6 +148,59 @@ def test_incast_speedup_and_identical_diagnosis():
     payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
     payload.pop("environment", None)
     payload["incast_speedup"] = runs
+    write_bench_json(REPO_ROOT / BENCH_PERF_FILENAME, payload)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_obs_off_path_costs_nothing():
+    """The observability layer's leave-it-compiled-in contract.
+
+    Every pipeline stage carries tracing call sites guarded by a single
+    ``obs is not None`` check.  With tracing off that guard is all a run
+    pays, so a tracer-off run must not be measurably slower than a
+    tracer-on run of the same scenario (the on run does strictly more
+    work); 5% covers scheduler noise.  Both runs must produce the same
+    diagnosis — the tracer is a pure observer.
+    """
+    def best_wall(config):
+        best = None
+        for _ in range(2):
+            scenario = incast_on_fat_tree(4)
+            gc.collect()
+            result = run_scenario(scenario, config)
+            sample = (result.perf.wall_s, result.diagnosis().describe())
+            del scenario, result
+            if best is None or sample[0] < best[0]:
+                best = sample
+        return best
+
+    off_wall, off_diagnosis = best_wall(RunConfig())
+    on_wall, on_diagnosis = best_wall(
+        RunConfig(obs=ObsConfig(trace=True, sink="ring"))
+    )
+    assert off_diagnosis == on_diagnosis
+    overhead = off_wall / on_wall
+    assert overhead <= 1.05, (
+        f"tracer-off run slower than tracer-on ({off_wall:.3f}s vs "
+        f"{on_wall:.3f}s): the disabled path is doing real work"
+    )
+
+    print_table(
+        "Observability overhead (K=4 incast)",
+        ("tracer", "wall", "vs on"),
+        [
+            ("off", f"{off_wall:.3f}", f"{overhead:.3f}x"),
+            ("on (ring sink)", f"{on_wall:.3f}", "1.000x"),
+        ],
+    )
+    payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
+    payload.pop("environment", None)
+    payload["obs_overhead"] = {
+        "off_wall_s": round(off_wall, 4),
+        "on_wall_s": round(on_wall, 4),
+        "off_over_on": round(overhead, 4),
+        "diagnosis_matches": off_diagnosis == on_diagnosis,
+    }
     write_bench_json(REPO_ROOT / BENCH_PERF_FILENAME, payload)
 
 

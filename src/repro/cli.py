@@ -5,14 +5,17 @@ Usage::
     python -m repro list
     python -m repro run incast-backpressure [--seed N] [--system hawkeye]
                                             [--epoch-us 1048] [--threshold 3.0]
-                                            [--dot out.dot]
+                                            [--dot out.dot] [--metrics-json m.json]
+    python -m repro trace pfc-storm [--seed N] [--jsonl out.jsonl] [--sim-events]
     python -m repro chaos [--loss-rates 0 0.05 0.1] [--chaos-seed N]
 
 ``run`` builds the scenario, attaches the chosen diagnosis system, runs
 the simulation and prints the paper-style diagnosis report (optionally
-dumping the provenance graph as Graphviz).  ``chaos`` sweeps control-path
-loss across the anomaly scenarios under a seeded fault plan and reports
-how gracefully diagnosis degrades.
+dumping the provenance graph as Graphviz).  ``trace`` replays a scenario
+with the tracer on and pretty-prints the causal span tree — trigger to
+polling rounds to epoch reads to verdict — of every diagnosis.  ``chaos``
+sweeps control-path loss across the anomaly scenarios under a seeded
+fault plan and reports how gracefully diagnosis degrades.
 """
 
 from __future__ import annotations
@@ -34,6 +37,18 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
     return value
 
 
@@ -83,9 +98,34 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the provenance graph as Graphviz DOT")
     run.add_argument("--perf-json", metavar="FILE",
                      help="write wall-clock/event-loop stats as JSON")
+    run.add_argument("--metrics-json", metavar="FILE",
+                     help="write the run's metrics registry "
+                          "(counters/gauges/histograms) as JSON")
     run.add_argument("--profile", type=int, metavar="N", default=0,
                      help="profile the run and print the top N functions "
                           "by cumulative time (0 = off)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a scenario with tracing on and print the causal span tree",
+    )
+    # Accept the scenario positionally or via --scenario; underscores are
+    # normalized to dashes so ``pfc_storm`` works.  Validated in _cmd_trace.
+    trace.add_argument("scenario", nargs="?", metavar="SCENARIO",
+                       help="scenario to trace (also accepted as --scenario)")
+    trace.add_argument("--scenario", dest="scenario_opt", metavar="SCENARIO",
+                       help=argparse.SUPPRESS)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--jsonl", metavar="FILE",
+                       help="also stream every trace record to FILE as JSONL")
+    trace.add_argument("--metrics-json", metavar="FILE",
+                       help="write the run's metrics registry as JSON")
+    trace.add_argument("--sim-events", action="store_true",
+                       help="include per-packet sim events and PFC pause "
+                            "spans (verbose)")
+    trace.add_argument("--max-lines", type=_nonnegative_int, default=0,
+                       help="truncate the rendered tree after N lines "
+                            "(default: print everything)")
 
     sweep = sub.add_parser("sweep", help="grid-sweep parameters over scenarios")
     sweep.add_argument("scenarios", nargs="+", choices=sorted(SCENARIO_BUILDERS))
@@ -191,7 +231,87 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{stats['misses']:>7,d} misses ({rate:.0%})")
         for name, count in sorted(result.perf.faults.items()):
             print(f"  fault {name:24s} {count:>9,d}")
+
+    if args.metrics_json and result.metrics is not None:
+        import json as _json
+
+        with open(args.metrics_json, "w") as fh:
+            _json.dump(result.metrics.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_json}")
     return 0 if verdict else 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_scenario as _run
+    from .obs import (
+        ObsConfig,
+        build_tree,
+        check_causal_chains,
+        render_tree,
+        validate_records,
+    )
+
+    name = args.scenario_opt or args.scenario
+    if name is None:
+        print("trace: a scenario is required (positional or --scenario)",
+              file=sys.stderr)
+        return 2
+    name = name.replace("_", "-")
+    if name not in SCENARIO_BUILDERS:
+        print(f"unknown scenario {name!r}; choose from "
+              f"{', '.join(sorted(SCENARIO_BUILDERS))}", file=sys.stderr)
+        return 2
+
+    scenario = SCENARIO_BUILDERS[name](seed=args.seed)
+    obs_config = ObsConfig(
+        trace=True,
+        sink="jsonl" if args.jsonl else "ring",
+        jsonl_path=args.jsonl,
+        sim_events=args.sim_events,
+    )
+    result = _run(scenario, RunConfig(obs=obs_config))
+    records = result.obs.tracer.records()
+    roots, _ = build_tree(records)
+
+    rendered = render_tree(roots)
+    lines = rendered.splitlines()
+    if args.max_lines and len(lines) > args.max_lines:
+        print("\n".join(lines[: args.max_lines]))
+        print(f"... ({len(lines) - args.max_lines} more lines; "
+              f"re-run without --max-lines)")
+    else:
+        print(rendered)
+
+    errors = validate_records(records)
+    chains = check_causal_chains(records)
+    complete = sum(1 for missing in chains.values() if not missing)
+    unresolved = sum(
+        1 for missing in chains.values() if missing == ["unresolved"]
+    )
+    broken = {
+        victim: missing
+        for victim, missing in chains.items()
+        if missing and missing != ["unresolved"]
+    }
+    print(f"\n{len(records)} trace records; {len(chains)} diagnosis spans: "
+          f"{complete} complete causal chains, {unresolved} unresolved "
+          f"(no verdict before end of run), {len(broken)} broken")
+    for victim, missing in sorted(broken.items()):
+        print(f"  BROKEN {victim}: missing {', '.join(missing)}")
+    for error in errors:
+        print(f"  INVALID {error}")
+
+    if args.jsonl:
+        print(f"trace records written to {args.jsonl}")
+    if args.metrics_json and result.metrics is not None:
+        import json as _json
+
+        with open(args.metrics_json, "w") as fh:
+            _json.dump(result.metrics.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_json}")
+    return 2 if (errors or broken) else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -304,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args)
 
 

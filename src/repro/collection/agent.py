@@ -24,6 +24,7 @@ from ..units import msec, usec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
     from ..faults.plan import RetryPolicy
+    from ..obs.pipeline import PipelineObs
 
 # ``report_probe(victim, since_ns) -> bool``: has the analyzer received any
 # telemetry report since ``since_ns``?  Wired by the runner to the
@@ -66,11 +67,13 @@ class DetectionAgent:
         config: Optional[AgentConfig] = None,
         retry: Optional["RetryPolicy"] = None,
         injector: Optional["FaultInjector"] = None,
+        obs: Optional["PipelineObs"] = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else AgentConfig()
         self.retry = retry
         self._injector = injector
+        self._obs = obs
         self.triggers: List[TriggerEvent] = []
         self._base_rtt: Dict[FlowKey, int] = {}
         # multiplier * base RTT, precomputed per flow: the RTT listener runs
@@ -125,13 +128,18 @@ class DetectionAgent:
             return
         self._trigger(flow, now, rtt_ns, self._base_rtt[flow.key])
 
-    def _trigger(self, flow: Flow, now: int, rtt_ns: int, base: int) -> None:
+    def _trigger(
+        self, flow: Flow, now: int, rtt_ns: int, base: int, kind: str = "rtt"
+    ) -> None:
         last = self._last_trigger.get(flow.key)
         if last is not None and now - last < self.config.cooldown_ns:
             return
         self._last_trigger[flow.key] = now
         event = TriggerEvent(victim=flow.key, time_ns=now, rtt_ns=rtt_ns, base_rtt_ns=base)
         self.triggers.append(event)
+        if self._obs is not None:
+            self._obs.on_trigger(flow.key, now, rtt_ns, base, kind=kind)
+            self._obs.on_polling_injected(flow.key, now, attempt=0)
         self.network.hosts[flow.src_host].inject_polling(
             flow.key, PollingFlag.VICTIM_PATH
         )
@@ -182,6 +190,8 @@ class DetectionAgent:
             self._injector.count(
                 "polling_retransmitted", str(victim), now, f"attempt={attempt}"
             )
+        if self._obs is not None:
+            self._obs.on_polling_injected(victim, now, attempt=attempt)
         self.network.hosts[src_host].inject_polling(victim, PollingFlag.VICTIM_PATH)
         self.network.sim.schedule(
             self.retry.backoff_ns(attempt) + self._jitter(),
@@ -224,5 +234,5 @@ class DetectionAgent:
                 continue
             if now - since >= self.config.stall_timeout_ns:
                 # Report the stall duration as the observed "RTT".
-                self._trigger(flow, now, now - since, self.base_rtt(flow))
+                self._trigger(flow, now, now - since, self.base_rtt(flow), kind="stall")
         self.network.sim.schedule(self.config.stall_check_interval_ns, self._stall_check)

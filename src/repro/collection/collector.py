@@ -32,6 +32,8 @@ from ..units import usec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
     from ..faults.plan import RetryPolicy
+    from ..obs.pipeline import PipelineObs
+    from ..sim.packet import FlowKey
 
 MTU_BYTES = 1500
 # Usable PHV budget for data-plane packet generation (the alternative the
@@ -70,6 +72,7 @@ class TelemetryCollector:
         read_delay_ns: Optional[int] = None,
         injector: Optional["FaultInjector"] = None,
         retry: Optional["RetryPolicy"] = None,
+        obs: Optional["PipelineObs"] = None,
     ) -> None:
         """``read_delay_ns`` models the gap between the polling packet's CPU
         mirror and the actual register DMA read (tens of ms on Tofino; here
@@ -88,6 +91,13 @@ class TelemetryCollector:
         self.read_delay_ns = read_delay_ns
         self._injector = injector
         self._retry = retry
+        self._obs = obs
+        # Victim/time of the switch's most recent polling mirror: dedup makes
+        # exact read attribution impossible, so the epoch-read span parents
+        # under the round whose mirror actually drove (or most recently
+        # touched) the switch.
+        self._last_mirror_victim: Dict[str, "FlowKey"] = {}
+        self._last_mirror_time: Dict[str, int] = {}
         self.reports: List[SwitchReport] = []
         self.stats = CollectionStats()
         self._last_collect: Dict[str, int] = {}
@@ -106,7 +116,16 @@ class TelemetryCollector:
         last = self._last_collect.get(switch_name)
         if last is not None and now - last < self.dedup_interval_ns:
             self.stats.suppressed_collections += 1
+            if self._obs is not None and pkt.flow is not None:
+                # This victim's telemetry rides the read another victim's
+                # mirror already started — keep its causal chain intact.
+                self._obs.on_collection_shared(switch_name, pkt.flow, now)
             return
+        # Only the collection-driving mirror claims read attribution: the
+        # epoch-read span parents under the round that caused the read.
+        if pkt.flow is not None:
+            self._last_mirror_victim[switch_name] = pkt.flow
+            self._last_mirror_time[switch_name] = now
         self._last_collect[switch_name] = now
         if self.read_delay_ns <= 0:
             self.collect(switch_name, now)
@@ -141,13 +160,28 @@ class TelemetryCollector:
         """
         telem = self.deployment.for_switch(switch_name)
         injector = self._injector
+        obs = self._obs
+        victim = self._last_mirror_victim.get(switch_name)
+        # The read interval spans from the CPU mirror that drove it to the
+        # actual register snapshot (retry attempts start at the retry).
+        read_start = now if _attempt else min(
+            self._last_mirror_time.get(switch_name, now), now
+        )
         if injector is None:
             report = telem.snapshot(now, self.lookback_epochs)
+            if obs is not None:
+                obs.on_epoch_read(
+                    switch_name, victim, read_start, now, len(report.epochs)
+                )
             self._deliver(report, telem)
             return report
 
         fate = injector.dma_fate(now, switch_name)
         if fate == DMA_FAIL:
+            if obs is not None:
+                obs.on_epoch_read(
+                    switch_name, victim, read_start, now, 0, faults=("dma_fail",)
+                )
             budget = self._retry.dma_retry_budget if self._retry is not None else 0
             if _attempt < budget:
                 self.stats.dma_retries += 1
@@ -179,19 +213,36 @@ class TelemetryCollector:
         if skew:
             report.collect_time = max(0, now + skew)
             flags.append("skewed")
+        if obs is not None:
+            obs.on_epoch_read(
+                switch_name,
+                victim,
+                read_start,
+                now,
+                len(report.epochs),
+                faults=tuple(flags),
+            )
 
         report_fate, delay_ns = injector.report_fate(now, switch_name)
         if report_fate == REPORT_LOST:
             self.stats.reports_lost += 1
+            if obs is not None:
+                obs.on_report("lost", switch_name, victim, now, faults=tuple(flags))
             return None
         if report_fate == REPORT_TRUNCATED:
             report.epochs = report.epochs[-1:]
             flags.append("truncated")
             self.stats.reports_truncated += 1
+            if obs is not None:
+                obs.on_report("truncated", switch_name, victim, now)
         if flags:
             report.faults = tuple(flags)
         if report_fate == REPORT_DELAYED:
             self.stats.reports_delayed += 1
+            if obs is not None:
+                obs.on_report(
+                    "delayed", switch_name, victim, now, delay_ns=delay_ns
+                )
             self.deployment.network.sim.schedule(
                 delay_ns, self._deliver, report, telem
             )
@@ -206,6 +257,14 @@ class TelemetryCollector:
 
     def _deliver(self, report: SwitchReport, telem) -> None:
         """A report packet reached the analyzer: index and account it."""
+        if self._obs is not None:
+            self._obs.on_report(
+                "delivered",
+                report.switch,
+                self._last_mirror_victim.get(report.switch),
+                self.deployment.network.sim.now,
+                faults=report.faults,
+            )
         self.reports.append(report)
         existing = self._latest.get(report.switch)
         if existing is None or report.collect_time > existing.collect_time:

@@ -23,6 +23,7 @@ walk around deadlock loops after one full cycle.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -34,6 +35,7 @@ from ..units import msec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
+    from ..obs.pipeline import PipelineObs
 
 
 @dataclass
@@ -59,11 +61,13 @@ class PollingEngine:
         deployment: HawkeyeDeployment,
         config: Optional[PollingConfig] = None,
         injector: Optional["FaultInjector"] = None,
+        obs: Optional["PipelineObs"] = None,
     ) -> None:
         self.network = network
         self.deployment = deployment
         self.config = config if config is not None else PollingConfig()
         self._injector = injector
+        self._obs = obs
         # (switch, victim, flag_bit, ingress) -> last handled time
         self._seen: Dict[Tuple, int] = {}
         # victim -> switches its polling packets visited (causal trace set)
@@ -75,14 +79,28 @@ class PollingEngine:
         for name in deployment.telemetry:
             network.switches[name].polling_handler = self._handle
 
+    # One warning per process, not per access: hot paths may read the alias
+    # in a loop and a warning flood would bury the signal.
+    _dropped_alias_warned = False
+
     @property
     def polling_packets_dropped(self) -> int:
         """Deprecated alias for :attr:`polling_packets_suppressed`.
 
         The counter tallies per-switch dedup *suppressions*, never actual
         packet drops (injected loss is :attr:`polling_packets_lost`); the
-        old name misled.  Kept so existing callers and tests keep working.
+        old name misled.  Kept one deprecation cycle for external callers;
+        in-tree callers have migrated.
         """
+        if not PollingEngine._dropped_alias_warned:
+            PollingEngine._dropped_alias_warned = True
+            warnings.warn(
+                "polling_packets_dropped is deprecated; use "
+                "polling_packets_suppressed (dedup suppressions) or "
+                "polling_packets_lost (injected loss)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.polling_packets_suppressed
 
     def add_mirror_listener(self, fn) -> None:
@@ -117,6 +135,8 @@ class PollingEngine:
             # no forwarding — the trace is truncated here until the agent's
             # retransmission (if enabled) replays it.
             self.polling_packets_lost += 1
+            if self._obs is not None:
+                self._obs.on_polling_lost(switch.name, victim, now)
             return []
         flag: PollingFlag = pkt.polling_flag
         telem = self.deployment.for_switch(switch.name)
@@ -125,6 +145,8 @@ class PollingEngine:
         # CPU mirror: every polling packet notifies the controller
         # (collection-side dedup lives in the collector).
         self._victim_switches.setdefault(victim, set()).add(switch.name)
+        if self._obs is not None:
+            self._obs.on_polling_mirror(switch.name, victim, now)
         for fn in self._mirror_listeners:
             fn(switch.name, pkt, now)
 
@@ -151,6 +173,8 @@ class PollingEngine:
                 )
 
         self.polling_packets_forwarded += len(outputs)
+        if outputs and self._obs is not None:
+            self._obs.on_polling_forward(switch.name, victim, now, len(outputs))
         return outputs
 
     def _causality_multicast(
@@ -184,6 +208,8 @@ class PollingEngine:
         last = self._seen.get(key)
         if last is not None and now - last < self.config.dedup_interval_ns:
             self.polling_packets_suppressed += 1
+            if self._obs is not None:
+                self._obs.on_polling_suppressed(switch_name, victim, now, kind)
             return True
         self._seen[key] = now
         return False

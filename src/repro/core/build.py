@@ -126,12 +126,45 @@ def build_provenance(
     victim: Optional[FlowKey] = None,
     exclude_paused: bool = True,
     epoch_size_ns: Optional[int] = None,
+    obs=None,
+    now_ns: int = 0,
 ) -> AnnotatedGraph:
     """Run Algorithm 1 over the collected telemetry.
 
     ``epoch_size_ns`` is the replay period T of Algorithm 1 (defaults to
-    ``window_ns`` when the reports are single-epoch aggregates).
+    ``window_ns`` when the reports are single-epoch aggregates).  ``obs``
+    (a :class:`~repro.obs.pipeline.PipelineObs`) wraps the construction in
+    a ``graph_build`` span stamped at ``now_ns`` — Algorithm 1 runs after
+    the simulation, so the analysis time is the caller's clock, not ours.
     """
+    if obs is not None:
+        span = obs.begin_graph_build(victim, now_ns)
+        annotated = _build_provenance(
+            reports, topology, window_ns, victim, exclude_paused, epoch_size_ns
+        )
+        obs.end_graph_build(
+            span,
+            now_ns,
+            reports=len(reports),
+            ports=len(annotated.port_meta),
+            flows=len(annotated.flow_port_meta),
+            edges=sum(1 for _ in annotated.graph.edges()),
+            missing=sorted(annotated.missing_switches),
+        )
+        return annotated
+    return _build_provenance(
+        reports, topology, window_ns, victim, exclude_paused, epoch_size_ns
+    )
+
+
+def _build_provenance(
+    reports: Mapping[str, SwitchReport],
+    topology: Topology,
+    window_ns: int,
+    victim: Optional[FlowKey],
+    exclude_paused: bool,
+    epoch_size_ns: Optional[int],
+) -> AnnotatedGraph:
     graph = ProvenanceGraph()
     annotated = AnnotatedGraph(graph=graph, window_ns=window_ns)
 

@@ -54,6 +54,8 @@ class Diagnoser:
         annotated: AnnotatedGraph,
         victim: FlowKey,
         victim_path_ports: Optional[List[PortRef]] = None,
+        obs=None,
+        now_ns: int = 0,
     ) -> Diagnosis:
         """Diagnose one victim complaint.
 
@@ -61,6 +63,10 @@ class Diagnoser:
         from routing) is the fallback entry point when flow-level telemetry
         is unavailable (the port-only ablation): diagnosis then starts from
         the victim-path ports that show PFC-paused packets at port level.
+
+        ``obs``/``now_ns``: every signature Algorithm 2 matches (each
+        appended :class:`Finding`) emits a ``signature_match`` trace event
+        stamped at the caller's analysis-time clock.
         """
         graph = annotated.graph
         diagnosis = Diagnosis(victim=victim)
@@ -68,6 +74,8 @@ class Diagnoser:
         # The complaining victim is never its own root cause: exclude it
         # from contention-culprit lists for the duration of this diagnosis.
         self._victim = victim
+        self._obs = obs
+        self._obs_now = now_ns
 
         paused_at = sorted(
             graph.ports_pausing_flow(victim), key=lambda pw: -pw[1]
@@ -370,3 +378,12 @@ class Diagnoser:
             return
         dedup.add(key)
         diagnosis.findings.append(finding)
+        obs = getattr(self, "_obs", None)
+        if obs is not None:
+            obs.on_signature_match(
+                diagnosis.victim,
+                self._obs_now,
+                anomaly=finding.anomaly.value,
+                root_cause=finding.root_cause.value,
+                port=str(finding.initial_port),
+            )

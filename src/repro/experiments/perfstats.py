@@ -40,6 +40,11 @@ class PerfStats:
     # Fault-injection and reliability counters (chaos runs): incident kind
     # or recovery action -> count.  Empty on fault-free runs.
     faults: Dict[str, int] = field(default_factory=dict)
+    # Per-stage wall-clock breakdown from the runner's StageProfile:
+    # stage name -> {"wall_s": float, "calls": int}.  Stages cover the whole
+    # pipeline (simulate, flush_pending, select_reports, graph_build,
+    # diagnose, qualify), so BENCH_perf.json can show where time goes.
+    stages: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @classmethod
     def from_run(
@@ -49,6 +54,7 @@ class PerfStats:
         wall_s: float,
         caches: Optional[Dict[str, Dict[str, int]]] = None,
         faults: Optional[Dict[str, int]] = None,
+        stages: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> "PerfStats":
         """Snapshot a :class:`~repro.sim.engine.Simulator`'s counters."""
         events = sim.events_run
@@ -62,6 +68,7 @@ class PerfStats:
             compactions=sim.compactions,
             caches=caches if caches is not None else {},
             faults=faults if faults is not None else {},
+            stages=stages if stages is not None else {},
         )
 
     def to_dict(self) -> Dict[str, Any]:

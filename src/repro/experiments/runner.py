@@ -18,7 +18,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..baselines.systems import (
@@ -35,6 +35,14 @@ from ..faults.injector import make_injector
 from ..faults.plan import FaultPlan, RetryPolicy
 from ..core.diagnosis import Diagnoser
 from ..core.report import Diagnosis
+from ..obs import (
+    MetricsRegistry,
+    ObsConfig,
+    PipelineObs,
+    SimTraceObserver,
+    StageProfile,
+    Tracer,
+)
 from ..sim.packet import POLLING_PACKET_SIZE, FlowKey
 from ..telemetry.epoch import EpochScheme
 from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
@@ -61,6 +69,10 @@ class RunConfig:
     # all-zero plan) keeps the pipeline on the fault-free fast path.
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
+    # Observability: ``None`` (or ``trace=False``) keeps every instrumented
+    # call site on the is-None fast path; a live tracer is built per run
+    # (and per worker — the frozen config is what crosses process pools).
+    obs: Optional[ObsConfig] = None
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(
@@ -95,6 +107,10 @@ class RunResult:
     # incident log (both empty on fault-free runs).
     fault_counters: Dict[str, int] = field(default_factory=dict)
     fault_incidents: List[str] = field(default_factory=list)
+    # Observability: the run's metrics registry (always present) and the
+    # pipeline tracer facade (None unless RunConfig.obs enabled tracing).
+    metrics: Optional[MetricsRegistry] = None
+    obs: Optional[PipelineObs] = None
 
     def primary_outcome(self) -> Optional[VictimOutcome]:
         """The earliest-complaining victim's outcome (the paper diagnoses
@@ -213,12 +229,28 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     caches_before = global_cache_counters()
     ecmp_before = (net.routing.select_cache_hits, net.routing.select_cache_misses)
 
+    metrics = MetricsRegistry()
+    profile = StageProfile(metrics)
+    obs: Optional[PipelineObs] = None
+    sim_obs: Optional[SimTraceObserver] = None
+    if config.obs is not None and config.obs.trace:
+        obs = PipelineObs(Tracer(config.obs.build_sink()), metrics)
+        obs.begin_scenario(
+            scenario.name, start_ns=net.sim.now, system=kind.value
+        )
+        if config.obs.sim_events:
+            sim_obs = SimTraceObserver(
+                obs.tracer, metrics, parent=obs.scenario_span
+            )
+            for switch in net.switches.values():
+                switch.add_observer(sim_obs)
+
     injector = make_injector(config.faults)
     deployment = HawkeyeDeployment(
         net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
     )
     collector = TelemetryCollector(
-        deployment, injector=injector, retry=config.retry
+        deployment, injector=injector, retry=config.retry, obs=obs
     )
     engine: Optional[PollingEngine] = None
     if kind.uses_polling_packets or kind.pfc_blind:
@@ -230,6 +262,7 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
             deployment,
             PollingConfig(trace_pfc=kind.traces_pfc, use_meters=config.use_meters),
             injector=injector,
+            obs=obs,
         )
         engine.add_mirror_listener(collector.on_polling_mirror)
 
@@ -238,6 +271,7 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         AgentConfig(threshold_multiplier=config.threshold_multiplier),
         retry=config.retry,
         injector=injector,
+        obs=obs,
     )
     if config.retry is not None:
         if engine is not None:
@@ -276,8 +310,12 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
 
         agent.add_trigger_listener(_full_poll)
 
-    net.run(scenario.duration_ns)
-    collector.flush_pending(net.sim.now)
+    with profile.stage("simulate"):
+        net.run(scenario.duration_ns)
+    with profile.stage("flush_pending"):
+        collector.flush_pending(net.sim.now)
+    if sim_obs is not None:
+        sim_obs.finish(net.sim.now)
 
     diagnoser = Diagnoser()
     outcomes: List[VictimOutcome] = []
@@ -288,7 +326,8 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         if trigger is None:
             outcomes.append(VictimOutcome(victim.key, None, None))
             continue
-        raw = select_reports(collector.reports, trigger.time_ns)
+        with profile.stage("select_reports"):
+            raw = select_reports(collector.reports, trigger.time_ns)
         if engine is not None:
             # Each diagnosis consumes telemetry only from the switches its
             # own polling trace covered (concurrent victims of the same
@@ -305,21 +344,32 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
             )
             raw = {name: r for name, r in raw.items() if name in on_path}
         reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
-        annotated = build_provenance(
-            reports,
-            net.topology,
-            window_ns=scheme.window_ns,
-            victim=victim.key,
-            exclude_paused=config.exclude_paused_in_contention,
-            epoch_size_ns=scheme.epoch_size_ns,
-        )
+        with profile.stage("graph_build"):
+            annotated = build_provenance(
+                reports,
+                net.topology,
+                window_ns=scheme.window_ns,
+                victim=victim.key,
+                exclude_paused=config.exclude_paused_in_contention,
+                epoch_size_ns=scheme.epoch_size_ns,
+                obs=obs,
+                now_ns=net.sim.now,
+            )
         victim_path = net.routing.flow_path(
             victim.src_host, victim.key.dst_ip, victim.key
         )[1:]
-        diagnosis = diagnoser.diagnose(
-            annotated, victim.key, victim_path_ports=victim_path
-        )
-        _qualify_diagnosis(diagnosis, net, engine, victim, reports)
+        with profile.stage("diagnose"):
+            diagnosis = diagnoser.diagnose(
+                annotated,
+                victim.key,
+                victim_path_ports=victim_path,
+                obs=obs,
+                now_ns=net.sim.now,
+            )
+        with profile.stage("qualify"):
+            _qualify_diagnosis(diagnosis, net, engine, victim, reports)
+        if obs is not None:
+            obs.on_verdict(victim.key, net.sim.now, diagnosis)
         outcomes.append(
             VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
         )
@@ -383,7 +433,41 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         time.perf_counter() - wall_start,
         caches=cache_stats,
         faults=fault_counters,
+        stages=profile.to_dict(),
     )
+
+    # Fold every legacy counter surface into the one registry the
+    # ``--metrics-json`` export reads (the trace-derived ``events.*``
+    # counters are already live in it).
+    metrics.absorb_counters("sim", net.sim.counters())
+    metrics.absorb_counters("cache", cache_stats)
+    metrics.absorb_counters("collection", asdict(collector.stats))
+    metrics.absorb_counters(
+        "agent",
+        {
+            "triggers": len(agent.triggers),
+            "retransmissions": agent.retransmissions,
+            "retries_recovered": agent.retries_recovered,
+            "retries_exhausted": agent.retries_exhausted,
+            "restarts": agent.restarts,
+        },
+    )
+    if engine is not None:
+        metrics.absorb_counters(
+            "polling",
+            {
+                "packets_forwarded": engine.polling_packets_forwarded,
+                "packets_suppressed": engine.polling_packets_suppressed,
+                "packets_lost": engine.polling_packets_lost,
+            },
+        )
+    if fault_counters:
+        metrics.absorb_counters("faults", fault_counters)
+    metrics.gauge("run.wall_s").set(perf.wall_s)
+    metrics.gauge("run.sim_ns").set(float(net.sim.now))
+
+    if obs is not None:
+        obs.end_scenario(net.sim.now)
 
     return RunResult(
         scenario=scenario,
@@ -400,6 +484,8 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         perf=perf,
         fault_counters=fault_counters,
         fault_incidents=fault_incidents,
+        metrics=metrics,
+        obs=obs,
     )
 
 

@@ -44,6 +44,9 @@ class ChaosOutcome:
     fault_counters: Dict[str, int] = field(default_factory=dict)
     incident_log: List[str] = field(default_factory=list)
     error: Optional[str] = None
+    # Per-stage wall seconds of this cell's run (PerfStats.stages), so the
+    # chaos harness shows where fault handling spends its time.
+    stage_wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def crashed(self) -> bool:
@@ -66,8 +69,14 @@ def run_chaos_cell(
     plan: FaultPlan,
     retry: Optional[RetryPolicy],
     loss_rate: float,
+    obs=None,
 ) -> ChaosOutcome:
-    """Run one scenario under one fault plan; never raises."""
+    """Run one scenario under one fault plan; never raises.
+
+    ``obs`` (an :class:`~repro.obs.pipeline.ObsConfig`) turns tracing on
+    for the cell — the chaos trace-invariant tests use it to assert that
+    faults *flag* causal chains as degraded but never delete them.
+    """
     # Deferred: repro.experiments.runner imports repro.faults.plan.
     from ..experiments.metrics import diagnosis_correct
     from ..experiments.runner import RunConfig, run_scenario
@@ -78,7 +87,7 @@ def run_chaos_cell(
     )
     try:
         scenario = SCENARIO_BUILDERS[scenario_name](seed=plan.seed)
-        config = RunConfig(faults=plan, retry=retry)
+        config = RunConfig(faults=plan, retry=retry, obs=obs)
         result = run_scenario(scenario, config)
         primary = result.primary_outcome()
         if primary is not None and primary.diagnosis is not None:
@@ -89,6 +98,10 @@ def run_chaos_cell(
             outcome.completeness = diagnosis.completeness
         outcome.fault_counters = dict(result.fault_counters)
         outcome.incident_log = list(result.fault_incidents)
+        if result.perf is not None:
+            outcome.stage_wall_s = {
+                name: s["wall_s"] for name, s in result.perf.stages.items()
+            }
     except Exception:  # noqa: BLE001 - the whole point is "never crashes"
         outcome.error = traceback.format_exc()
     return outcome
@@ -100,11 +113,13 @@ def chaos_sweep(
     seed: int = 1,
     retry: Optional[RetryPolicy] = RetryPolicy(),
     extra_plan_kwargs: Optional[Dict] = None,
+    obs=None,
 ) -> List[ChaosOutcome]:
     """Sweep loss rates across scenarios under a fixed seed.
 
     ``extra_plan_kwargs`` lets callers add non-loss faults (DMA failures,
-    clock skew, agent restarts) on top of the canonical lossy plan.
+    clock skew, agent restarts) on top of the canonical lossy plan;
+    ``obs`` (an :class:`~repro.obs.pipeline.ObsConfig`) traces every cell.
     """
     outcomes: List[ChaosOutcome] = []
     for loss_rate in loss_rates:
@@ -117,7 +132,7 @@ def chaos_sweep(
             if extra_plan_kwargs:
                 kwargs.update(extra_plan_kwargs)
             plan = FaultPlan(**kwargs)
-            outcomes.append(run_chaos_cell(name, plan, retry, loss_rate))
+            outcomes.append(run_chaos_cell(name, plan, retry, loss_rate, obs=obs))
     return outcomes
 
 

@@ -1,0 +1,163 @@
+"""Metrics registry: counters, gauges and histograms with a JSON export.
+
+The registry is the single place run-level numbers end up.  It absorbs
+(and supersedes as the canonical export) the ad-hoc counter dicts that
+grew across PR1-PR3 — ``PerfStats`` event-loop/cache counters,
+``FaultInjector.stats``, ``CollectionStats`` and the polling/agent
+reliability tallies — plus the trace-derived per-kind event counts, so
+``--metrics-json`` gives one coherent document per run.
+
+Two usage modes:
+
+- **live**: components increment counters as they go (the sim-trace
+  observer and :class:`~repro.obs.pipeline.PipelineObs` do this — the
+  trace-property tests assert live counters match trace event counts);
+- **absorb**: at end of run the runner pulls every legacy counter dict in
+  with :meth:`MetricsRegistry.absorb_counters`, which namespaces them
+  without touching the sources (the old attributes keep working).
+
+Metric names are dotted paths (``polling.packets_forwarded``); the export
+nests them by the first segment and sorts keys, so the JSON is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins number."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Full-fidelity distributions are overkill for per-stage wall times and
+    span durations; the lean summary keeps observation O(1) and the JSON
+    small, following the lean-accounting discipline the monitoring layer
+    itself preaches.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    # -- convenience ----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def counter_value(self, name: str) -> int:
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def absorb_counters(self, prefix: str, counters: Mapping[str, Any]) -> None:
+        """Fold a legacy counter mapping in under ``prefix.``.
+
+        Only integer-valued entries are absorbed as counters; nested
+        mappings (the cache hit/miss dicts) recurse with their key joined
+        into the name.
+        """
+        for key, value in counters.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, Mapping):
+                self.absorb_counters(name, value)
+            elif isinstance(value, bool):
+                self.counter(name).inc(int(value))
+            elif isinstance(value, int):
+                self.counter(name).inc(value)
+            elif isinstance(value, float):
+                self.gauge(name).set(value)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Sorted, JSON-ready view (the ``--metrics-json`` document body)."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.to_dict()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }

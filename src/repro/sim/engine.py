@@ -91,6 +91,16 @@ class Simulator:
         """Peak event-queue depth observed (perf accounting)."""
         return self._max_pending
 
+    def counters(self) -> Dict[str, int]:
+        """Event-loop counters as one dict (metrics-registry absorption)."""
+        return {
+            "events_run": self._events_run,
+            "events_purged": self._events_purged,
+            "compactions": self._compactions,
+            "pending_entries": self._pending,
+            "max_pending_entries": self._max_pending,
+        }
+
     # -- scheduling -------------------------------------------------------------
 
     def schedule(self, delay_ns: int, fn: Callable[..., None], *args) -> EventHandle:

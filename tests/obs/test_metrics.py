@@ -1,0 +1,78 @@
+"""MetricsRegistry unit tests: metric kinds, legacy absorption, export."""
+
+import json
+
+from repro.obs import MetricsRegistry
+
+
+class TestMetricKinds:
+    def test_counter_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("polling.rounds")
+        reg.inc("polling.rounds", 3)
+        assert reg.counter_value("polling.rounds") == 4
+        assert reg.counter("polling.rounds") is reg.counter("polling.rounds")
+
+    def test_counter_value_defaults_to_zero(self):
+        assert MetricsRegistry().counter_value("never.touched") == 0
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("run.wall_s").set(1.5)
+        reg.gauge("run.wall_s").set(0.25)
+        assert reg.gauge("run.wall_s").value == 0.25
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("stage.simulate_s")
+        for v in (2.0, 1.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.min == 1.0 and hist.max == 4.0
+        assert hist.mean == 7.0 / 3
+        summary = hist.to_dict()
+        assert summary["sum"] == 7.0 and summary["count"] == 3
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("x").mean == 0.0
+
+
+class TestAbsorbCounters:
+    def test_absorbs_flat_ints_as_counters(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters("agent", {"triggers": 4, "restarts": 1})
+        assert reg.counter_value("agent.triggers") == 4
+        assert reg.counter_value("agent.restarts") == 1
+
+    def test_recurses_nested_mappings(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters("cache", {"ecmp_select": {"hits": 10, "misses": 2}})
+        assert reg.counter_value("cache.ecmp_select.hits") == 10
+        assert reg.counter_value("cache.ecmp_select.misses") == 2
+
+    def test_floats_become_gauges_bools_become_counters(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters("run", {"wall_s": 0.5, "degraded": True})
+        assert reg.gauge("run.wall_s").value == 0.5
+        assert reg.counter_value("run.degraded") == 1
+        assert reg.counter_value("run.wall_s") == 0  # not double-counted
+
+    def test_absorb_accumulates_on_repeat(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters("polling", {"packets_lost": 2})
+        reg.absorb_counters("polling", {"packets_lost": 3})
+        assert reg.counter_value("polling.packets_lost") == 5
+
+
+class TestExport:
+    def test_to_dict_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.inc("events.verdict")
+        reg.inc("collector.epoch_reads", 2)
+        reg.gauge("run.sim_ns").set(1e9)
+        reg.histogram("stage.diagnose_s").observe(0.1)
+        doc = reg.to_dict()
+        assert list(doc) == ["counters", "gauges", "histograms"]
+        assert list(doc["counters"]) == ["collector.epoch_reads", "events.verdict"]
+        # Must round-trip through json (the --metrics-json export path).
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,134 @@
+"""Property tests over the sim-level trace: conservation laws, pause-span
+exclusivity, and the counters == trace-event-counts invariant."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, SimTraceObserver, Tracer, validate_records
+from repro.sim import Network
+from repro.topology import build_dumbbell, build_line
+from repro.units import KB, msec, usec
+
+
+def observe(net):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    root = tracer.begin_span("scenario", "prop", 0)
+    obs = SimTraceObserver(tracer, metrics, parent=root)
+    net.add_switch_observer(obs)
+    return tracer, metrics, obs, root
+
+
+def finish(net, tracer, obs, root):
+    obs.finish(net.sim.now)
+    tracer.end_span(root, net.sim.now)
+    tracer.finish(net.sim.now)
+
+
+def traced_run(specs, duration_ns=msec(30)):
+    """Random dumbbell traffic with a SimTraceObserver on every switch."""
+    net = Network(build_dumbbell(hosts_per_side=4))
+    tracer, metrics, obs, root = observe(net)
+    for i, (src, size_kb, start_us) in enumerate(specs):
+        net.start_flow(
+            net.make_flow(
+                f"HL{src}", "HR0", size_kb * KB, usec(start_us), src_port=40000 + i
+            )
+        )
+    net.run(duration_ns)
+    finish(net, tracer, obs, root)
+    return net, tracer, metrics
+
+
+flow_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # src host index
+        st.integers(min_value=10, max_value=300),  # size KB
+        st.integers(min_value=0, max_value=100),  # start us
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(flow_specs)
+    def test_enqueues_equal_dequeues_per_switch(self, specs):
+        """Lossless drained fabric: the trace shows every enqueued packet
+        leaving its switch."""
+        _, tracer, _ = traced_run(specs)
+        enq, deq = Counter(), Counter()
+        for event in tracer.events:
+            if event.kind == "pkt_enqueue":
+                enq[event.attrs["switch"]] += 1
+            elif event.kind == "pkt_dequeue":
+                deq[event.attrs["switch"]] += 1
+        assert enq == deq
+        assert sum(enq.values()) > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(flow_specs)
+    def test_counters_match_trace_event_counts(self, specs):
+        """The live ``events.*`` counters and the trace never diverge."""
+        _, tracer, metrics = traced_run(specs)
+        by_kind = Counter(event.kind for event in tracer.events)
+        counters = metrics.to_dict()["counters"]
+        for kind, count in by_kind.items():
+            assert counters.get(f"events.{kind}") == count
+        # And conversely: no counter claims events the trace lacks.
+        for name, value in counters.items():
+            if name.startswith("events."):
+                assert by_kind[name[len("events."):]] == value
+
+    @settings(max_examples=6, deadline=None)
+    @given(flow_specs)
+    def test_trace_is_structurally_valid(self, specs):
+        _, tracer, _ = traced_run(specs)
+        assert validate_records(tracer.records()) == []
+
+
+class TestPauseSpans:
+    def oversubscribed_run(self):
+        # Five senders into H3_0 congest SW3's host port, so SW3 sends
+        # PAUSE upstream to SW2 — switch-to-switch PFC the observer sees
+        # (dumbbell congestion only pauses the sending *hosts*).
+        net = Network(build_line(num_switches=3, hosts_per_switch=4))
+        tracer, metrics, obs, root = observe(net)
+        for i, src in enumerate(["H1_0", "H2_0", "H2_1", "H3_1", "H3_2"]):
+            net.start_flow(
+                net.make_flow(src, "H3_0", 400 * KB, usec(1), src_port=40000 + i)
+            )
+        net.run(msec(20))
+        finish(net, tracer, obs, root)
+        return net, tracer, metrics
+
+    def test_pause_episodes_exist_and_are_bounded(self):
+        net, tracer, _ = self.oversubscribed_run()
+        pauses = [s for s in tracer.spans if s.kind == "port_pause"]
+        assert pauses, "oversubscription produced no pause episodes"
+        for span in pauses:
+            assert span.end_ns is not None
+            assert 0 <= span.start_ns <= span.end_ns <= net.sim.now
+
+    def test_pause_spans_never_overlap_per_port(self):
+        """PAUSE spans on one (switch, port) are exclusive episodes: a new
+        one can only open after the previous closed (RESUME or expiry)."""
+        _, tracer, _ = self.oversubscribed_run()
+        by_port = {}
+        for span in tracer.spans:
+            if span.kind == "port_pause":
+                key = (span.attrs["switch"], span.attrs["port"])
+                by_port.setdefault(key, []).append(span)
+        assert by_port
+        for key, spans in by_port.items():
+            spans.sort(key=lambda s: s.start_ns)
+            for prev, nxt in zip(spans, spans[1:]):
+                assert prev.end_ns <= nxt.start_ns, f"overlap on {key}"
+
+    def test_pause_events_at_least_cover_episodes(self):
+        _, tracer, metrics = self.oversubscribed_run()
+        episodes = sum(1 for s in tracer.spans if s.kind == "port_pause")
+        assert metrics.counter_value("events.pause_rx") >= episodes

@@ -1,26 +1,30 @@
 #!/usr/bin/env python3
-"""Continuous operation: probes + analyzer service + event tracing.
+"""Continuous operation: always-on fabric monitoring + analyzer service.
 
 This is the "network operator" view of the reproduction (§5's operating
 scenarios): instead of scripting one experiment, deploy the full Hawkeye
-stack plus
+stack plus the continuous monitoring plane:
 
+- a :class:`~repro.monitor.FabricMonitor` sampling every port at a fixed
+  cadence into ring-buffer time series, sketching per-flow byte counts,
+  and raising sliding-window alerts *while anomalies develop*;
 - a pingmesh-style probe mesh, so anomalies surface even with no
   application traffic complaining;
 - the analyzer service, which groups concurrent complaints into incidents
-  and diagnoses each one;
-- the omniscient network tracer, used here to cross-check the diagnosis
-  against what actually happened on the wire.
+  and diagnoses each one — every diagnosis lands on the monitor's
+  incident timeline next to the alerts that preceded it.
 
-Two anomalies hit the fat-tree during the run: a transient incast at t=0.2 ms
-and a PFC storm at t=2 ms.
+Two anomalies hit the fat-tree during the run: a transient incast at
+t=0.2 ms and a PFC storm at t=2 ms.  Watch the alert feed catch both
+before any victim's diagnosis completes.
 
 Run:  python examples/continuous_monitoring.py
 """
 
 from repro.collection import ProbeMesh, ProbeMeshConfig
 from repro.experiments import deploy_analyzer
-from repro.sim import Network, NetworkTracer, SimConfig
+from repro.monitor import FabricMonitor, MonitorConfig, render_dashboard
+from repro.sim import Network, SimConfig
 from repro.sim.config import PfcConfig
 from repro.topology import build_fat_tree
 from repro.units import KB, msec, usec
@@ -30,7 +34,11 @@ def main() -> None:
     config = SimConfig(pfc=PfcConfig(xoff_bytes=80 * KB, xon_bytes=40 * KB))
     network = Network(build_fat_tree(k=4), config=config)
     analyzer = deploy_analyzer(network)
-    tracer = NetworkTracer(network, sample_queue_every=32)
+
+    # The continuous monitoring plane: 100 us sampling, bounded memory.
+    monitor = FabricMonitor(network, MonitorConfig(interval_ns=usec(100))).start()
+    analyzer.agent.attach_monitor(monitor)  # per-host RTT inflation feed
+
     mesh = ProbeMesh(network, ProbeMeshConfig(interval_ns=usec(400)))
     mesh.start()
 
@@ -53,25 +61,42 @@ def main() -> None:
     )
 
     network.run(msec(5))
+    monitor.finish(network.sim.now)
 
-    print("== analyzer incident log ==")
+    # Fold every analyzer verdict onto the monitor's incident timeline:
+    # the operator sees alerts and the diagnosis they foreshadowed together.
+    for incident in analyzer.diagnosed_incidents():
+        if incident.diagnosis is not None:
+            monitor.timeline.record_diagnosis(
+                incident.diagnosis, incident.time_ns, network.sim.now
+            )
+
+    print("== live alert feed (raised while the anomalies developed) ==")
+    for alert in monitor.alerts:
+        print(" ", alert.describe())
+
+    print("\n== analyzer incident log ==")
     print(analyzer.summary())
+
+    print("\n== incident timeline (alerts correlated with verdicts) ==")
+    for incident in monitor.timeline.incidents:
+        lead = incident.lead_time_ns()
+        lead_ms = f"{lead / 1e6:.2f} ms" if lead is not None else "n/a"
+        print(f"  {incident.victim} -> {incident.anomaly} "
+              f"(early warning: {incident.early_warning}, lead {lead_ms}, "
+              f"{len(incident.linked_subjects)} alert subject(s) on the "
+              f"diagnosed provenance)")
 
     print("\n== probe mesh ==")
     print(f"{len(mesh.probes)} probes launched, coverage {mesh.coverage():.0%}, "
           f"{len(mesh.stalled_probes())} stalled")
 
-    print("\n== tracer cross-check ==")
-    storm_port = network.topology.attachment_of("H3_0_0")
-    paused_ms = tracer.total_paused_ns(storm_port) / 1e6
-    print(f"{storm_port} held paused for {paused_ms:.2f} ms "
-          f"(storm injection ran for 2 ms)")
-    hot = tracer.pause_storm_ports(min_pauses=5)
-    print("ports with heavy PAUSE activity:", ", ".join(str(p) for p in hot[:6]))
+    print("\n== fabric dashboard ==")
+    print(render_dashboard(monitor, width=24, max_subjects=4))
 
     kinds = {i.diagnosis.primary().anomaly.value
              for i in analyzer.diagnosed_incidents() if i.diagnosis}
-    print("\nanomaly classes diagnosed this run:", ", ".join(sorted(kinds)))
+    print("anomaly classes diagnosed this run:", ", ".join(sorted(kinds)))
 
 
 if __name__ == "__main__":

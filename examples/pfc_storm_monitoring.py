@@ -6,16 +6,21 @@ slow-receiver / broken-NIC failure mode of §2.1.  Innocent traffic toward
 that host freezes the edge switch, PFC cascades up through the pod, and a
 victim flow that merely shares the pod gets blocked.
 
-The example shows the operator-facing story: which flows suffered, which
-switches were causally relevant, and that the root cause is attributed to
-the injecting *host*, not to any of the innocent flows that happen to share
-the frozen queues.
+The example shows the operator-facing story in two acts:
+
+1. the *continuous monitor* raises category alerts (host-pause-flood,
+   sustained back-pressure, throughput collapse) while the storm is
+   still developing — the early-warning signal;
+2. the Hawkeye diagnosis then attributes the root cause to the injecting
+   *host*, not to any innocent flow, and the incident timeline shows the
+   alerts landed on the same ports the diagnosis blames.
 
 Run:  python examples/pfc_storm_monitoring.py
 """
 
 from repro.core import RootCauseKind
 from repro.experiments import RunConfig, run_scenario
+from repro.monitor import MonitorConfig
 from repro.workloads import pfc_storm_scenario
 
 
@@ -25,10 +30,14 @@ def main() -> None:
     print(f"  {scenario.description}")
     print(f"  injecting host: {scenario.truth.injecting_host}")
 
-    result = run_scenario(scenario, RunConfig(threshold_multiplier=3.0))
+    result = run_scenario(
+        scenario,
+        RunConfig(threshold_multiplier=3.0, monitor=MonitorConfig()),
+    )
+    monitor = result.monitor
 
-    net = scenario.network
     print("\nPFC activity during the storm:")
+    net = scenario.network
     for name in sorted(net.switches):
         stats = net.switches[name].stats
         if stats.pause_sent or stats.pause_received:
@@ -37,6 +46,12 @@ def main() -> None:
     injector = net.hosts[scenario.truth.injecting_host]
     print(f"  {scenario.truth.injecting_host}: injected "
           f"{injector.injected_pause_frames} PAUSE frames")
+
+    print("\nalerts raised by the continuous monitor (before any diagnosis):")
+    for alert in monitor.alerts:
+        print(" ", alert.describe())
+    storm_alerts = [a for a in monitor.alerts if a.category == "pfc_storm"]
+    assert storm_alerts, "the storm signature rule must fire"
 
     outcome = result.primary_outcome()
     print(f"\nvictim complaint: {outcome.trigger.victim}")
@@ -48,8 +63,16 @@ def main() -> None:
 
     primary = diagnosis.primary()
     assert primary.root_cause is RootCauseKind.HOST_PFC_INJECTION
-    print(f"\n=> operator action: inspect NIC of {primary.injecting_source} "
-          f"(slow receiver / firmware fault), not the innocent senders.")
+
+    print("\nincident timeline (alert-to-diagnosis correlation):")
+    print(monitor.timeline.describe())
+    incident = monitor.timeline.incidents[0]
+    assert incident.early_warning, "alerts must precede the verdict"
+    lead_ms = incident.lead_time_ns() / 1e6
+    print(f"\n=> the monitor flagged the fabric {lead_ms:.2f} ms before the "
+          f"diagnosis completed; operator action: inspect NIC of "
+          f"{primary.injecting_source} (slow receiver / firmware fault), "
+          f"not the innocent senders.")
 
 
 if __name__ == "__main__":

@@ -7,15 +7,21 @@ Usage::
                                             [--epoch-us 1048] [--threshold 3.0]
                                             [--dot out.dot] [--metrics-json m.json]
     python -m repro trace pfc-storm [--seed N] [--jsonl out.jsonl] [--sim-events]
+    python -m repro monitor pfc-storm [--seed N] [--interval-us 100]
+                                      [--prom m.prom] [--jsonl snap.jsonl]
+                                      [--html dash.html]
     python -m repro chaos [--loss-rates 0 0.05 0.1] [--chaos-seed N]
 
 ``run`` builds the scenario, attaches the chosen diagnosis system, runs
 the simulation and prints the paper-style diagnosis report (optionally
 dumping the provenance graph as Graphviz).  ``trace`` replays a scenario
 with the tracer on and pretty-prints the causal span tree — trigger to
-polling rounds to epoch reads to verdict — of every diagnosis.  ``chaos``
-sweeps control-path loss across the anomaly scenarios under a seeded
-fault plan and reports how gracefully diagnosis degrades.
+polling rounds to epoch reads to verdict — of every diagnosis.
+``monitor`` replays a scenario with continuous fabric monitoring on and
+renders the text dashboard plus the incident timeline (exit 3 when no
+alert fired).  ``chaos`` sweeps control-path loss across the anomaly
+scenarios under a seeded fault plan and reports how gracefully diagnosis
+degrades.
 """
 
 from __future__ import annotations
@@ -72,6 +78,53 @@ def _rate(text: str) -> float:
     return value
 
 
+def _resolve_scenario_name(args: argparse.Namespace) -> Optional[str]:
+    """Normalize and validate the scenario a replay subcommand was given.
+
+    Shared by ``trace`` and ``monitor``: the scenario arrives positionally
+    or as ``--scenario``, underscores are accepted for dashes, and an
+    unknown name prints the menu.  Returns None (after printing the error)
+    when no valid scenario was named.
+    """
+    name = getattr(args, "scenario_opt", None) or args.scenario
+    if name is None:
+        print(f"{args.command}: a scenario is required (positional or "
+              f"--scenario)", file=sys.stderr)
+        return None
+    name = name.replace("_", "-")
+    if name not in SCENARIO_BUILDERS:
+        print(f"unknown scenario {name!r}; choose from "
+              f"{', '.join(sorted(SCENARIO_BUILDERS))}", file=sys.stderr)
+        return None
+    return name
+
+
+def _replay_scenario(name: str, seed: int, config: RunConfig):
+    """Build the named scenario at ``seed`` and run it under ``config``."""
+    scenario = SCENARIO_BUILDERS[name](seed=seed)
+    return scenario, run_scenario(scenario, config)
+
+
+def _write_metrics_json(path: Optional[str], result) -> None:
+    if not path or result.metrics is None:
+        return
+    import json as _json
+
+    with open(path, "w") as fh:
+        _json.dump(result.metrics.to_dict(), fh, indent=2)
+        fh.write("\n")
+    print(f"metrics written to {path}")
+
+
+def _add_replay_arguments(sub: argparse.ArgumentParser) -> None:
+    """The scenario/seed arguments every replay subcommand accepts."""
+    sub.add_argument("scenario", nargs="?", metavar="SCENARIO",
+                     help="scenario to replay (also accepted as --scenario)")
+    sub.add_argument("--scenario", dest="scenario_opt", metavar="SCENARIO",
+                     help=argparse.SUPPRESS)
+    sub.add_argument("--seed", type=int, default=1)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,13 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help="replay a scenario with tracing on and print the causal span tree",
     )
-    # Accept the scenario positionally or via --scenario; underscores are
-    # normalized to dashes so ``pfc_storm`` works.  Validated in _cmd_trace.
-    trace.add_argument("scenario", nargs="?", metavar="SCENARIO",
-                       help="scenario to trace (also accepted as --scenario)")
-    trace.add_argument("--scenario", dest="scenario_opt", metavar="SCENARIO",
-                       help=argparse.SUPPRESS)
-    trace.add_argument("--seed", type=int, default=1)
+    _add_replay_arguments(trace)
     trace.add_argument("--jsonl", metavar="FILE",
                        help="also stream every trace record to FILE as JSONL")
     trace.add_argument("--metrics-json", metavar="FILE",
@@ -126,6 +173,26 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--max-lines", type=_nonnegative_int, default=0,
                        help="truncate the rendered tree after N lines "
                             "(default: print everything)")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a scenario with continuous fabric monitoring and "
+             "render the dashboard + incident timeline",
+    )
+    _add_replay_arguments(monitor)
+    monitor.add_argument("--interval-us", type=_positive_float, default=100.0,
+                         help="sampling cadence in microseconds (default 100)")
+    monitor.add_argument("--trace", action="store_true",
+                         help="also run the pipeline tracer so incidents "
+                              "carry obs span ids")
+    monitor.add_argument("--prom", metavar="FILE",
+                         help="write Prometheus text exposition to FILE")
+    monitor.add_argument("--jsonl", metavar="FILE",
+                         help="write series/alert/incident snapshots as JSONL")
+    monitor.add_argument("--html", metavar="FILE",
+                         help="write the dashboard as a standalone HTML page")
+    monitor.add_argument("--metrics-json", metavar="FILE",
+                         help="write the run's metrics registry as JSON")
 
     sweep = sub.add_parser("sweep", help="grid-sweep parameters over scenarios")
     sweep.add_argument("scenarios", nargs="+", choices=sorted(SCENARIO_BUILDERS))
@@ -232,18 +299,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for name, count in sorted(result.perf.faults.items()):
             print(f"  fault {name:24s} {count:>9,d}")
 
-    if args.metrics_json and result.metrics is not None:
-        import json as _json
-
-        with open(args.metrics_json, "w") as fh:
-            _json.dump(result.metrics.to_dict(), fh, indent=2)
-            fh.write("\n")
-        print(f"metrics written to {args.metrics_json}")
+    _write_metrics_json(args.metrics_json, result)
     return 0 if verdict else 2
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .experiments.runner import run_scenario as _run
     from .obs import (
         ObsConfig,
         build_tree,
@@ -252,25 +312,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         validate_records,
     )
 
-    name = args.scenario_opt or args.scenario
+    name = _resolve_scenario_name(args)
     if name is None:
-        print("trace: a scenario is required (positional or --scenario)",
-              file=sys.stderr)
         return 2
-    name = name.replace("_", "-")
-    if name not in SCENARIO_BUILDERS:
-        print(f"unknown scenario {name!r}; choose from "
-              f"{', '.join(sorted(SCENARIO_BUILDERS))}", file=sys.stderr)
-        return 2
-
-    scenario = SCENARIO_BUILDERS[name](seed=args.seed)
     obs_config = ObsConfig(
         trace=True,
         sink="jsonl" if args.jsonl else "ring",
         jsonl_path=args.jsonl,
         sim_events=args.sim_events,
     )
-    result = _run(scenario, RunConfig(obs=obs_config))
+    scenario, result = _replay_scenario(name, args.seed, RunConfig(obs=obs_config))
     records = result.obs.tracer.records()
     roots, _ = build_tree(records)
 
@@ -304,14 +355,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if args.jsonl:
         print(f"trace records written to {args.jsonl}")
-    if args.metrics_json and result.metrics is not None:
-        import json as _json
-
-        with open(args.metrics_json, "w") as fh:
-            _json.dump(result.metrics.to_dict(), fh, indent=2)
-            fh.write("\n")
-        print(f"metrics written to {args.metrics_json}")
+    _write_metrics_json(args.metrics_json, result)
     return 2 if (errors or broken) else 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .monitor import (
+        MonitorConfig,
+        jsonl_snapshot,
+        prometheus_text,
+        render_dashboard,
+        render_html,
+    )
+    from .obs import ObsConfig
+
+    name = _resolve_scenario_name(args)
+    if name is None:
+        return 2
+    config = RunConfig(
+        monitor=MonitorConfig(interval_ns=usec(args.interval_us)),
+        obs=ObsConfig(trace=True, sink="ring") if args.trace else None,
+    )
+    scenario, result = _replay_scenario(name, args.seed, config)
+    monitor = result.monitor
+
+    print(f"scenario : {scenario.name}")
+    print(f"           {scenario.description}")
+    print()
+    print(render_dashboard(monitor))
+
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(monitor))
+        print(f"prometheus exposition written to {args.prom}")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            for line in jsonl_snapshot(monitor):
+                fh.write(line + "\n")
+        print(f"monitor snapshots written to {args.jsonl}")
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(render_html(monitor, title=f"fabric monitor: {name}"))
+        print(f"dashboard written to {args.html}")
+    _write_metrics_json(args.metrics_json, result)
+    # A monitored anomaly scenario with zero alerts means the watchdogs
+    # slept through it; CI treats that as a failure (exit 3).
+    return 0 if monitor.alerts else 3
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -426,6 +515,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     return _cmd_run(args)
 
 

@@ -24,6 +24,7 @@ from ..units import msec, usec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
     from ..faults.plan import RetryPolicy
+    from ..monitor.monitor import FabricMonitor
     from ..obs.pipeline import PipelineObs
 
 # ``report_probe(victim, since_ns) -> bool``: has the analyzer received any
@@ -68,12 +69,14 @@ class DetectionAgent:
         retry: Optional["RetryPolicy"] = None,
         injector: Optional["FaultInjector"] = None,
         obs: Optional["PipelineObs"] = None,
+        monitor: Optional["FabricMonitor"] = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else AgentConfig()
         self.retry = retry
         self._injector = injector
         self._obs = obs
+        self._monitor = monitor
         self.triggers: List[TriggerEvent] = []
         self._base_rtt: Dict[FlowKey, int] = {}
         # multiplier * base RTT, precomputed per flow: the RTT listener runs
@@ -97,6 +100,10 @@ class DetectionAgent:
 
     def add_trigger_listener(self, fn: Callable[[TriggerEvent], None]) -> None:
         self._listeners.append(fn)
+
+    def attach_monitor(self, monitor: Optional["FabricMonitor"]) -> None:
+        """Feed per-flow RTT samples to a fabric monitor (None detaches)."""
+        self._monitor = monitor
 
     def add_retransmit_listener(self, fn: Callable[[FlowKey], None]) -> None:
         """``fn(victim)`` runs just before a polling retransmission (the
@@ -124,6 +131,10 @@ class DetectionAgent:
         if threshold is None:
             threshold = self.config.threshold_multiplier * self.base_rtt(flow)
             self._threshold[flow.key] = threshold
+        if self._monitor is not None:
+            self._monitor.on_rtt(
+                flow.src_host, flow.key, now, rtt_ns, self._base_rtt[flow.key]
+            )
         if rtt_ns <= threshold:
             return
         self._trigger(flow, now, rtt_ns, self._base_rtt[flow.key])

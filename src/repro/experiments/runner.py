@@ -35,6 +35,7 @@ from ..faults.injector import make_injector
 from ..faults.plan import FaultPlan, RetryPolicy
 from ..core.diagnosis import Diagnoser
 from ..core.report import Diagnosis
+from ..monitor.monitor import FabricMonitor, MonitorConfig
 from ..obs import (
     MetricsRegistry,
     ObsConfig,
@@ -73,6 +74,10 @@ class RunConfig:
     # call site on the is-None fast path; a live tracer is built per run
     # (and per worker — the frozen config is what crosses process pools).
     obs: Optional[ObsConfig] = None
+    # Continuous fabric monitoring: ``None`` (or ``enabled=False``) keeps
+    # the sim on the no-monitor fast path; like ``obs``, the frozen config
+    # crosses process pools and each worker builds its own FabricMonitor.
+    monitor: Optional[MonitorConfig] = None
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(
@@ -111,6 +116,8 @@ class RunResult:
     # pipeline tracer facade (None unless RunConfig.obs enabled tracing).
     metrics: Optional[MetricsRegistry] = None
     obs: Optional[PipelineObs] = None
+    # Continuous fabric monitor (None unless RunConfig.monitor enabled it).
+    monitor: Optional[FabricMonitor] = None
 
     def primary_outcome(self) -> Optional[VictimOutcome]:
         """The earliest-complaining victim's outcome (the paper diagnoses
@@ -245,6 +252,10 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
             for switch in net.switches.values():
                 switch.add_observer(sim_obs)
 
+    monitor: Optional[FabricMonitor] = None
+    if config.monitor is not None and config.monitor.enabled:
+        monitor = FabricMonitor(net, config.monitor, metrics=metrics).start()
+
     injector = make_injector(config.faults)
     deployment = HawkeyeDeployment(
         net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
@@ -272,6 +283,7 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         retry=config.retry,
         injector=injector,
         obs=obs,
+        monitor=monitor,
     )
     if config.retry is not None:
         if engine is not None:
@@ -316,6 +328,8 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         collector.flush_pending(net.sim.now)
     if sim_obs is not None:
         sim_obs.finish(net.sim.now)
+    if monitor is not None:
+        monitor.finish(net.sim.now)
 
     diagnoser = Diagnoser()
     outcomes: List[VictimOutcome] = []
@@ -368,6 +382,14 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
             )
         with profile.stage("qualify"):
             _qualify_diagnosis(diagnosis, net, engine, victim, reports)
+        if monitor is not None:
+            # The obs span must be read before on_verdict closes it.
+            span_id = (
+                obs.diagnosis_span_id(victim.key) if obs is not None else None
+            )
+            monitor.timeline.record_diagnosis(
+                diagnosis, trigger.time_ns, net.sim.now, span_id=span_id
+            )
         if obs is not None:
             obs.on_verdict(victim.key, net.sim.now, diagnosis)
         outcomes.append(
@@ -463,6 +485,8 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         )
     if fault_counters:
         metrics.absorb_counters("faults", fault_counters)
+    if monitor is not None:
+        metrics.absorb_counters("monitor", monitor.counters())
     metrics.gauge("run.wall_s").set(perf.wall_s)
     metrics.gauge("run.sim_ns").set(float(net.sim.now))
 
@@ -486,6 +510,7 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
         fault_incidents=fault_incidents,
         metrics=metrics,
         obs=obs,
+        monitor=monitor,
     )
 
 
@@ -542,6 +567,11 @@ class RunSummary:
     confidence: str = "full"
     fault_counters: Dict[str, int] = field(default_factory=dict)
     fault_incidents: List[str] = field(default_factory=list)
+    # Continuous-monitoring reduction (zero/empty when monitoring was off).
+    alerts: int = 0
+    incidents: int = 0
+    alert_categories: Dict[str, int] = field(default_factory=dict)
+    early_warnings: int = 0
     # The primary diagnosis's input telemetry in the columnar wire format
     # (switch -> SwitchReport.to_columnar()): flat interned arrays pickle
     # far smaller and faster across the worker boundary than per-entry
@@ -594,6 +624,26 @@ def summarize_run(
         confidence=diagnosis.confidence if diagnosis is not None else "full",
         fault_counters=dict(result.fault_counters),
         fault_incidents=list(result.fault_incidents),
+        alerts=len(result.monitor.alerts) if result.monitor is not None else 0,
+        incidents=(
+            len(result.monitor.timeline.incidents)
+            if result.monitor is not None
+            else 0
+        ),
+        alert_categories=(
+            result.monitor.engine.alerts_by_category()
+            if result.monitor is not None
+            else {}
+        ),
+        early_warnings=(
+            sum(
+                1
+                for i in result.monitor.timeline.incidents
+                if i.early_warning
+            )
+            if result.monitor is not None
+            else 0
+        ),
         primary_reports_columnar=reports_columnar,
     )
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple
 from concurrent.futures import ProcessPoolExecutor
 
 from ..baselines.systems import SystemKind
+from ..monitor.monitor import MonitorConfig
 from ..workloads.scenario import Scenario
 from .metrics import AccuracyCounter, ScoreConfig
 from .runner import RunConfig, _pool_context, run_scenario
@@ -31,12 +32,16 @@ class SweepPoint:
     system: SystemKind = SystemKind.HAWKEYE
     epoch_size_ns: int = 1 << 20
     threshold: float = 3.0
+    # Frozen (hence picklable) monitor knobs; each pool worker builds its
+    # own FabricMonitor from them, exactly like RunConfig.obs.
+    monitor: Optional[MonitorConfig] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(
             system=self.system,
             epoch_size_ns=self.epoch_size_ns,
             threshold_multiplier=self.threshold,
+            monitor=self.monitor,
         )
 
 

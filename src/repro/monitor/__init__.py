@@ -1,0 +1,59 @@
+"""Continuous fabric-health monitoring for the simulated RDMA network.
+
+The pipeline plane (``repro.obs``) traces what the *diagnoser* does; this
+package watches what the *fabric* does, continuously: fixed-step ring
+series per port/switch/host, count-min-sketched per-flow byte counts,
+sliding-window alert rules, and an incident timeline that correlates
+fabric alerts with the Hawkeye diagnosis that follows.
+"""
+
+from .monitor import FabricMonitor, MonitorConfig, default_rules
+from .rules import (
+    BUFFER_SATURATION,
+    PAUSE_BACKPRESSURE,
+    PFC_STORM,
+    RTT_INFLATION,
+    THROUGHPUT_COLLAPSE,
+    Alert,
+    AlertRule,
+    CollapseRule,
+    RuleEngine,
+    SustainedRule,
+)
+from .series import RingSeries
+from .sketch import CountMinSketch, HeavyHitters
+from .timeline import ANOMALY_ALERT_CATEGORIES, IncidentTimeline, MonitorIncident
+from .export import (
+    jsonl_snapshot,
+    prometheus_text,
+    render_dashboard,
+    render_html,
+    sparkline,
+)
+
+__all__ = [
+    "FabricMonitor",
+    "MonitorConfig",
+    "default_rules",
+    "Alert",
+    "AlertRule",
+    "SustainedRule",
+    "CollapseRule",
+    "RuleEngine",
+    "PFC_STORM",
+    "PAUSE_BACKPRESSURE",
+    "BUFFER_SATURATION",
+    "THROUGHPUT_COLLAPSE",
+    "RTT_INFLATION",
+    "RingSeries",
+    "CountMinSketch",
+    "HeavyHitters",
+    "ANOMALY_ALERT_CATEGORIES",
+    "IncidentTimeline",
+    "MonitorIncident",
+    "prometheus_text",
+    "jsonl_snapshot",
+    "render_dashboard",
+    "render_html",
+    "sparkline",
+]

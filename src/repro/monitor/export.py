@@ -1,0 +1,218 @@
+"""Monitor exports: Prometheus text, JSONL snapshots, dashboards.
+
+Three consumers, three formats:
+
+- :func:`prometheus_text` — the classic text exposition format
+  (``metric{label="..."} value``), one gauge per live series head plus
+  alert/sketch counters, suitable for a scrape endpoint;
+- :func:`jsonl_snapshot` — one JSON object per line (series points,
+  alerts, incidents, heavy hitters), the machine-readable dump;
+- :func:`render_dashboard` / :func:`render_html` — the human views: a
+  terminal dashboard with unicode sparklines and the incident timeline,
+  and a self-contained HTML page of the same content for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .monitor import FabricMonitor
+
+__all__ = [
+    "prometheus_text",
+    "jsonl_snapshot",
+    "sparkline",
+    "render_dashboard",
+    "render_html",
+]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _prom_name(metric: str) -> str:
+    return "repro_monitor_" + metric.replace(".", "_").replace("-", "_")
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(monitor: "FabricMonitor") -> str:
+    """Prometheus text exposition of the monitor's current state."""
+    lines: List[str] = []
+    for metric in sorted(monitor.series):
+        name = _prom_name(metric)
+        lines.append(f"# TYPE {name} gauge")
+        for subject, series in sorted(monitor.series[metric].items()):
+            lines.append(
+                f'{name}{{subject="{_prom_label(subject)}"}} {series.latest():g}'
+            )
+    lines.append("# TYPE repro_monitor_alerts_total counter")
+    for category, count in monitor.engine.alerts_by_category().items():
+        lines.append(
+            f'repro_monitor_alerts_total{{category="{_prom_label(category)}"}} '
+            f"{count}"
+        )
+    lines.append("# TYPE repro_monitor_samples_total counter")
+    lines.append(f"repro_monitor_samples_total {monitor.samples}")
+    sketch = monitor.sketch
+    lines.append("# TYPE repro_monitor_sketch_total_bytes counter")
+    lines.append(f"repro_monitor_sketch_total_bytes {sketch.total}")
+    lines.append("# TYPE repro_monitor_flow_bytes_estimate gauge")
+    for key, estimate in monitor.heavy.top():
+        lines.append(
+            f'repro_monitor_flow_bytes_estimate{{flow="{_prom_label(key)}"}} '
+            f"{estimate}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_snapshot(monitor: "FabricMonitor") -> Iterable[str]:
+    """One JSON object per line: series, flows, alerts, incidents."""
+    for metric in sorted(monitor.series):
+        for subject, series in sorted(monitor.series[metric].items()):
+            yield json.dumps(
+                {
+                    "kind": "series",
+                    "metric": metric,
+                    "subject": subject,
+                    "step_ns": series.step_ns,
+                    "points": [[t, v] for t, v in series.iter_points()],
+                },
+                separators=(",", ":"),
+            )
+    for key, estimate in monitor.heavy.top():
+        yield json.dumps(
+            {"kind": "flow", "flow": key, "bytes_estimate": estimate},
+            separators=(",", ":"),
+        )
+    for alert in monitor.alerts:
+        yield json.dumps(
+            dict(kind="alert", **alert.to_dict()), separators=(",", ":")
+        )
+    for incident in monitor.timeline.incidents:
+        yield json.dumps(
+            dict(kind="incident", **incident.to_dict()), separators=(",", ":")
+        )
+    yield json.dumps(
+        dict(kind="summary", **_plain_counters(monitor)), separators=(",", ":")
+    )
+
+
+def _plain_counters(monitor: "FabricMonitor") -> Dict[str, object]:
+    counters = dict(monitor.counters())
+    counters["sketch"] = dict(counters["sketch"])
+    counters["alerts"] = dict(counters["alerts"])
+    return counters
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Unicode sparkline of the last ``width`` values (empty-safe)."""
+    values = values[-width:]
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    top = len(_SPARK) - 1
+    return "".join(_SPARK[int((v - low) / span * top)] for v in values)
+
+
+# Dashboard rows: (metric, heading) in presentation order.
+_DASH_METRICS = (
+    ("tx_bytes", "egress throughput (bytes/interval)"),
+    ("ingress_bytes", "ingress occupancy (bytes)"),
+    ("buffer_bytes", "buffered bytes"),
+    ("pause_fraction", "pause state (0/1)"),
+    ("host_pause_share", "host-granted pause share"),
+    ("ecn_marks", "ECN marks/interval"),
+    ("rtt_inflation", "RTT inflation (x base)"),
+)
+
+
+def render_dashboard(
+    monitor: "FabricMonitor", width: int = 32, max_subjects: int = 8
+) -> str:
+    """Terminal dashboard: sparklines, heavy hitters, alerts, incidents."""
+    interval_us = monitor.config.interval_ns / 1000
+    lines = [
+        "fabric monitor dashboard",
+        f"  cadence {interval_us:g} us x {monitor.samples} samples; "
+        f"sketch {monitor.sketch.width}x{monitor.sketch.depth} "
+        f"({monitor.sketch.memory_bytes // 1024} KiB, "
+        f"eps={monitor.sketch.epsilon:.4f})",
+        "",
+    ]
+    for metric, heading in _DASH_METRICS:
+        by_subject = monitor.series.get(metric)
+        if not by_subject:
+            continue
+        lines.append(f"{heading} [{metric}]")
+        # Busiest subjects first so a short dashboard shows the action.
+        ranked = sorted(
+            by_subject.items(),
+            key=lambda kv: (-kv[1].window_max(width), kv[0]),
+        )
+        for subject, series in ranked[:max_subjects]:
+            spark = sparkline(series.window(width), width)
+            lines.append(
+                f"  {subject:>12s} {spark:<{width}s} "
+                f"last={series.latest():g} max={series.window_max(width):g}"
+            )
+        hidden = len(by_subject) - max_subjects
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more subject(s)")
+        lines.append("")
+    top = monitor.heavy.top()
+    if top:
+        lines.append(f"heavy hitters (top {len(top)}, sketch-estimated bytes)")
+        for key, estimate in top:
+            lines.append(f"  {estimate:>12d}  {key}")
+        lines.append("")
+    lines.append(monitor.timeline.describe())
+    return "\n".join(lines) + "\n"
+
+
+def render_html(monitor: "FabricMonitor", title: str = "fabric monitor") -> str:
+    """Self-contained HTML page wrapping the text dashboard + raw data."""
+    dashboard = html.escape(render_dashboard(monitor))
+    rows = []
+    for alert in monitor.alerts:
+        rows.append(
+            "<tr><td>{:.3f} ms</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{:g}</td><td>{:g}</td></tr>".format(
+                alert.time_ns / 1e6,
+                html.escape(alert.category),
+                html.escape(alert.subject),
+                html.escape(alert.rule),
+                alert.value,
+                alert.threshold,
+            )
+        )
+    alert_table = (
+        "<table><tr><th>time</th><th>category</th><th>subject</th>"
+        "<th>rule</th><th>value</th><th>threshold</th></tr>"
+        + "".join(rows)
+        + "</table>"
+        if rows
+        else "<p>no alerts raised</p>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        "<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font-family:monospace;background:#111;color:#ddd;"
+        "padding:1em}pre{line-height:1.25}table{border-collapse:collapse}"
+        "td,th{border:1px solid #444;padding:2px 8px;text-align:left}"
+        "</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<pre>{dashboard}</pre>"
+        "<h2>alerts</h2>"
+        f"{alert_table}"
+        "</body></html>\n"
+    )

@@ -1,0 +1,156 @@
+"""Fixed-step ring-buffer time series for continuous fabric sampling.
+
+A :class:`RingSeries` holds the last ``capacity`` samples of one metric
+for one subject (a port, a switch or a host), taken at a fixed cadence by
+the :class:`~repro.monitor.monitor.FabricMonitor`.  The fixed step is what
+makes sliding-window alert rules O(window) with no timestamp bookkeeping:
+sample *k* (0-based, global) was taken at ``(k + 1) * step_ns`` simulated
+nanoseconds, so a window of the last *n* samples is exactly the last
+``n * step_ns`` of fabric history.
+
+Memory is bounded by construction: one ``array('d')`` of ``capacity``
+floats per series, overwritten in place once the ring wraps.  Subjects
+that go quiet keep their series (rules still need to see the collapse to
+zero); subjects that were never active never get one — a series is only
+materialized on first activity, with the missed prefix implicitly zero
+(the freshly allocated ring is zero-filled, so backfill is O(1): the
+global sample count is simply adopted).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Tuple
+
+__all__ = ["RingSeries"]
+
+
+class RingSeries:
+    """Last-``capacity`` samples of one (metric, subject) at a fixed step."""
+
+    __slots__ = ("metric", "subject", "step_ns", "capacity", "_values", "count")
+
+    def __init__(
+        self,
+        metric: str,
+        subject: str,
+        step_ns: int,
+        capacity: int = 1024,
+        start_count: int = 0,
+    ) -> None:
+        if step_ns <= 0:
+            raise ValueError(f"step_ns must be positive, got {step_ns}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.metric = metric
+        self.subject = subject
+        self.step_ns = step_ns
+        self.capacity = capacity
+        self._values = array("d", bytes(8 * capacity))  # zero-filled
+        # Total samples ever taken (index of the next sample).  A series
+        # created at global tick K simply starts with count=K: ticks 0..K-1
+        # read as the zeros the subject actually produced while inactive.
+        self.count = start_count
+
+    # -- recording ----------------------------------------------------------
+
+    def append(self, value: float) -> None:
+        self._values[self.count % self.capacity] = value
+        self.count += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Samples currently retained (≤ capacity)."""
+        return self.count if self.count < self.capacity else self.capacity
+
+    @property
+    def last_time_ns(self) -> int:
+        """Simulated time of the most recent sample (0 if empty)."""
+        return self.count * self.step_ns
+
+    def latest(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self._values[(self.count - 1) % self.capacity]
+
+    def window(self, n: int) -> List[float]:
+        """The last ``n`` retained samples, oldest first (short if young)."""
+        have = len(self)
+        n = min(n, have)
+        values = self._values
+        cap = self.capacity
+        start = self.count - n
+        return [values[(start + i) % cap] for i in range(n)]
+
+    def window_sum(self, n: int, offset: int = 0) -> float:
+        """Sum of ``n`` samples ending ``offset`` samples before the head.
+
+        ``window_sum(4)`` is the last four samples; ``window_sum(4, 4)`` is
+        the four before those — the shape throughput-collapse comparisons
+        need.  Windows that reach past retention are truncated.
+        """
+        count = self.count
+        end = count - offset
+        floor = count - len(self)
+        start = end - n
+        if start < floor:
+            start = floor
+        if end <= start:
+            return 0.0
+        values = self._values
+        cap = self.capacity
+        total = 0.0
+        for i in range(start, end):
+            total += values[i % cap]
+        return total
+
+    def window_min(self, n: int) -> float:
+        """Minimum of the last ``n`` retained samples (0.0 if empty).
+
+        Allocation-free: the sustained-threshold rules call this on every
+        sample of every tracked subject.
+        """
+        have = len(self)
+        if n > have:
+            n = have
+        if n == 0:
+            return 0.0
+        values = self._values
+        cap = self.capacity
+        count = self.count
+        low = values[(count - 1) % cap]
+        for i in range(count - n, count - 1):
+            v = values[i % cap]
+            if v < low:
+                low = v
+        return low
+
+    def window_mean(self, n: int, offset: int = 0) -> float:
+        have = len(self)
+        end = self.count - offset
+        start = max(end - n, self.count - have)
+        width = end - start
+        if width <= 0:
+            return 0.0
+        return self.window_sum(n, offset) / width
+
+    def window_max(self, n: int) -> float:
+        win = self.window(n)
+        return max(win) if win else 0.0
+
+    def iter_points(self) -> Iterator[Tuple[int, float]]:
+        """Retained ``(time_ns, value)`` pairs, oldest first."""
+        have = len(self)
+        values = self._values
+        cap = self.capacity
+        step = self.step_ns
+        start = self.count - have
+        for i in range(start, self.count):
+            yield (i + 1) * step, values[i % cap]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RingSeries({self.metric}/{self.subject}, step={self.step_ns}ns, "
+            f"n={len(self)}, latest={self.latest():g})"
+        )

@@ -1,0 +1,153 @@
+"""Count-min sketch with conservative update, plus a bounded top-K tracker.
+
+Per-flow byte accounting is the one monitoring surface whose exact state
+grows with the traffic mix, so the monitor keeps it in a count-min sketch
+(Cormode & Muthukrishnan): ``depth`` rows of ``width`` counters, each
+update incrementing one counter per row, each query taking the row
+minimum.  The standard guarantees hold:
+
+- **never an underestimate**: ``estimate(k) >= true(k)`` always;
+- **bounded overestimate**: ``estimate(k) <= true(k) + eps * N`` (N = total
+  count inserted) with probability ``>= 1 - delta`` per key, for
+  ``width = ceil(e / eps)`` and ``depth = ceil(ln(1 / delta))``.
+
+Conservative update (only raise the counters that would change the
+current estimate) tightens the overestimate further without breaking the
+lower bound.  Hashing is seeded CRC32 — stable across processes, so
+sketch contents are deterministic for a deterministic update stream.
+
+:class:`HeavyHitters` keeps the top-K keys by estimated count in bounded
+space: K live entries, smallest evicted on overflow.  Evicted keys can
+re-enter later with their (sketch-estimated) count intact, which is how
+bounded-memory heavy-hitter tracking classically composes with a CMS.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, List, Tuple
+from zlib import crc32
+
+__all__ = ["CountMinSketch", "HeavyHitters"]
+
+
+class CountMinSketch:
+    """Approximate per-key counters in ``depth * width`` ints of memory."""
+
+    __slots__ = ("width", "depth", "seed", "total", "updates", "_rows", "_seeds")
+
+    def __init__(self, width: int = 2048, depth: int = 4, seed: int = 1) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError(f"width/depth must be positive ({width}x{depth})")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.total = 0  # N: sum of all inserted counts
+        self.updates = 0
+        self._rows = [array("q", bytes(8 * width)) for _ in range(depth)]
+        # One independent CRC32 stream per row, derived from the seed.
+        self._seeds = [crc32(f"cms-row-{seed}-{row}".encode()) for row in range(depth)]
+
+    @classmethod
+    def from_error_bound(
+        cls, epsilon: float, delta: float, seed: int = 1
+    ) -> "CountMinSketch":
+        """Size the sketch for ``estimate <= true + epsilon*N`` w.p. ``1-delta``."""
+        if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+            raise ValueError(f"epsilon/delta must be in (0, 1) ({epsilon}, {delta})")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(1, depth), seed=seed)
+
+    @property
+    def epsilon(self) -> float:
+        """The additive error factor this geometry guarantees."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Per-key probability of exceeding the ``epsilon*N`` bound."""
+        return math.exp(-self.depth)
+
+    @property
+    def memory_bytes(self) -> int:
+        return 8 * self.width * self.depth
+
+    def indices(self, key: str) -> Tuple[int, ...]:
+        """Row slots for ``key`` (exposed so callers can cache them)."""
+        blob = key.encode()
+        width = self.width
+        return tuple(crc32(blob, s) % width for s in self._seeds)
+
+    def add(self, key: str, count: int = 1) -> int:
+        return self.add_at(self.indices(key), count)
+
+    def add_at(self, indices: Tuple[int, ...], count: int) -> int:
+        """Conservative update through precomputed row slots.
+
+        Returns the key's new estimate (the conservative-update floor), so
+        callers feeding a heavy-hitter table need no second lookup.
+        """
+        rows = self._rows
+        if count <= 0:
+            return min(rows[r][i] for r, i in enumerate(indices))
+        floor = min(rows[r][i] for r, i in enumerate(indices)) + count
+        for r, i in enumerate(indices):
+            if rows[r][i] < floor:
+                rows[r][i] = floor
+        self.total += count
+        self.updates += 1
+        return floor
+
+    def estimate(self, key: str) -> int:
+        rows = self._rows
+        return min(rows[r][i] for r, i in enumerate(self.indices(key)))
+
+    def error_bound(self) -> int:
+        """Current additive error ceiling: ``epsilon * N``, rounded up."""
+        return math.ceil(self.epsilon * self.total)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "updates": self.updates,
+            "total": self.total,
+            "memory_bytes": self.memory_bytes,
+        }
+
+
+class HeavyHitters:
+    """Bounded top-K tracker fed with (key, estimated count) offers."""
+
+    __slots__ = ("k", "_entries")
+
+    def __init__(self, k: int = 8) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._entries: Dict[str, int] = {}
+
+    def offer(self, key: str, estimate: int) -> None:
+        entries = self._entries
+        if key in entries:
+            if estimate > entries[key]:
+                entries[key] = estimate
+            return
+        if len(entries) < self.k:
+            entries[key] = estimate
+            return
+        # Evict the smallest resident if the newcomer beats it (ties keep
+        # the resident, so the contents are deterministic).
+        victim = min(entries, key=lambda k: (entries[k], k))
+        if estimate > entries[victim]:
+            del entries[victim]
+            entries[key] = estimate
+
+    def top(self) -> List[Tuple[str, int]]:
+        """Entries by descending count (key as tie-break, ascending)."""
+        return sorted(self._entries.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -22,7 +22,27 @@ nests them by the first segment and sorts keys, so the JSON is stable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+# Histogram quantile resolution: 64 power-of-two buckets centered on 1.0.
+# Bucket ``i`` covers ``[2**(i-33), 2**(i-32))``; the extremes clamp, so
+# any positive value lands somewhere and zero/negatives take bucket 0.
+_HIST_BUCKETS = 64
+_HIST_BIAS = 32
+
+
+def _bucket_index(value: float) -> int:
+    if value <= 0.0:
+        return 0
+    # frexp(v) = (m, e) with v = m * 2**e, 0.5 <= m < 1  =>  log2-floor = e-1.
+    e = math.frexp(value)[1]
+    idx = e + _HIST_BIAS
+    if idx < 0:
+        return 0
+    if idx >= _HIST_BUCKETS:
+        return _HIST_BUCKETS - 1
+    return idx
 
 
 class Counter:
@@ -50,21 +70,23 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean).
+    """Streaming summary of observed values with approximate quantiles.
 
     Full-fidelity distributions are overkill for per-stage wall times and
-    span durations; the lean summary keeps observation O(1) and the JSON
-    small, following the lean-accounting discipline the monitoring layer
-    itself preaches.
+    span durations; observation stays O(1) — the scalar summary plus one
+    increment into a fixed set of power-of-two buckets, from which
+    :meth:`quantile` interpolates p50/p95/p99 (exact within a factor-of-two
+    bucket, clamped to the true observed min/max).
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._buckets: List[int] = [0] * _HIST_BUCKETS
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -73,10 +95,33 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._buckets[_bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile via the log2 buckets (None if empty)."""
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        for idx, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                # Interpolate within the bucket's [2^(idx-33), 2^(idx-32)).
+                low = 0.0 if idx == 0 else 2.0 ** (idx - _HIST_BIAS - 1)
+                high = 2.0 ** (idx - _HIST_BIAS)
+                frac = (rank - cumulative) / n
+                value = low + frac * (high - low)
+                # The observed extremes are exact; never report outside them.
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -85,6 +130,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

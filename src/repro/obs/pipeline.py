@@ -292,6 +292,12 @@ class PipelineObs:
             port=port,
         )
 
+    def diagnosis_span_id(self, victim) -> Optional[int]:
+        """Span id of the victim's open diagnosis span (read it *before*
+        :meth:`on_verdict`, which closes and forgets the span)."""
+        span = self._diagnosis.get(victim)
+        return span.span_id if span is not None else None
+
     def on_verdict(self, victim, time_ns: int, diagnosis) -> None:
         """The diagnosis is final: emit the verdict and close the chain."""
         span = self._diagnosis.pop(victim, None)

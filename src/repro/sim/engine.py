@@ -48,6 +48,36 @@ class EventHandle:
         self.cancelled = True
 
 
+class PeriodicHandle:
+    """A self-rescheduling periodic event; ``cancel()`` stops the chain.
+
+    Each firing cancels nothing and allocates nothing beyond the next
+    :class:`EventHandle`; cancellation flags the live handle, so the chain
+    dies at its next scheduled instant like any other cancelled event.
+    """
+
+    __slots__ = ("_sim", "interval_ns", "fn", "fired", "_next", "cancelled")
+
+    def __init__(self, sim: "Simulator", interval_ns: int, fn: Callable[[], None]) -> None:
+        self._sim = sim
+        self.interval_ns = interval_ns
+        self.fn = fn
+        self.fired = 0
+        self.cancelled = False
+        self._next = sim.schedule(interval_ns, self._fire)
+
+    def _fire(self) -> None:
+        self.fired += 1
+        self._next = self._sim.schedule(self.interval_ns, self._fire)
+        self.fn()
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._next.cancel()
+
+
 class Simulator:
     """The event loop shared by every simulated component."""
 
@@ -127,6 +157,14 @@ class Simulator:
         if pending > self._max_pending:
             self._max_pending = pending
         return handle
+
+    def schedule_every(
+        self, interval_ns: int, fn: Callable[[], None]
+    ) -> PeriodicHandle:
+        """Run ``fn()`` every ``interval_ns``, starting one interval from now."""
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ns}")
+        return PeriodicHandle(self, interval_ns, fn)
 
     # -- the event loop ---------------------------------------------------------
 

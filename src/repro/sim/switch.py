@@ -173,6 +173,7 @@ class SwitchStats:
         self.enqueued_bytes = 0
         self.data_pkts = 0
         self.data_bytes = 0
+        self.ecn_marked = 0
 
 
 class Switch:
@@ -309,6 +310,7 @@ class Switch:
             prob = self.config.ecn.mark_probability(depth_bytes)
             if prob > 0 and self._rng.random() < prob:
                 pkt.ce_marked = True
+                self.stats.ecn_marked += 1
 
         pkt.ingress_port = ingress_port
         queue.pkts.append(pkt)

@@ -1,0 +1,101 @@
+"""RingSeries: fixed-step semantics, wrap-around, lazy backfill."""
+
+import pytest
+
+from repro.monitor import RingSeries
+
+
+class TestBasics:
+    def test_empty_series(self):
+        s = RingSeries("m", "s", step_ns=100)
+        assert len(s) == 0
+        assert s.latest() == 0.0
+        assert s.window(4) == []
+        assert s.window_sum(4) == 0.0
+        assert s.window_mean(4) == 0.0
+        assert s.window_max(4) == 0.0
+        assert list(s.iter_points()) == []
+
+    def test_append_and_latest(self):
+        s = RingSeries("m", "s", step_ns=100)
+        for v in (1.0, 2.0, 3.0):
+            s.append(v)
+        assert len(s) == 3
+        assert s.latest() == 3.0
+        assert s.window(2) == [2.0, 3.0]
+        assert s.last_time_ns == 300
+
+    def test_sample_k_taken_at_k_plus_1_steps(self):
+        s = RingSeries("m", "s", step_ns=100)
+        s.append(7.0)
+        s.append(8.0)
+        assert list(s.iter_points()) == [(100, 7.0), (200, 8.0)]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RingSeries("m", "s", step_ns=0)
+        with pytest.raises(ValueError):
+            RingSeries("m", "s", step_ns=100, capacity=0)
+
+
+class TestWrapAround:
+    def test_ring_overwrites_oldest(self):
+        s = RingSeries("m", "s", step_ns=10, capacity=4)
+        for v in range(10):
+            s.append(float(v))
+        assert len(s) == 4
+        assert s.window(10) == [6.0, 7.0, 8.0, 9.0]
+        assert s.latest() == 9.0
+
+    def test_iter_points_after_wrap(self):
+        s = RingSeries("m", "s", step_ns=10, capacity=3)
+        for v in range(5):
+            s.append(float(v))
+        # Samples 2,3,4 retained; sample k is at (k+1)*step.
+        assert list(s.iter_points()) == [(30, 2.0), (40, 3.0), (50, 4.0)]
+
+
+class TestWindows:
+    def test_window_sum_with_offset(self):
+        s = RingSeries("m", "s", step_ns=10, capacity=16)
+        for v in (1, 2, 3, 4, 5, 6, 7, 8):
+            s.append(float(v))
+        assert s.window_sum(4) == 5 + 6 + 7 + 8
+        assert s.window_sum(4, offset=4) == 1 + 2 + 3 + 4
+        assert s.window_mean(4) == 6.5
+        assert s.window_mean(4, offset=4) == 2.5
+
+    def test_window_truncated_by_retention(self):
+        s = RingSeries("m", "s", step_ns=10, capacity=4)
+        for v in (1, 2, 3, 4, 5, 6):
+            s.append(float(v))
+        # Only 3,4,5,6 retained: an offset window reaching past retention
+        # truncates instead of inventing values.
+        assert s.window_sum(4, offset=2) == 3 + 4
+        assert s.window_mean(4, offset=2) == 3.5
+
+    def test_window_max(self):
+        s = RingSeries("m", "s", step_ns=10)
+        for v in (3.0, 9.0, 1.0):
+            s.append(v)
+        assert s.window_max(2) == 9.0
+        assert s.window_max(1) == 1.0
+
+
+class TestLazyBackfill:
+    def test_start_count_reads_as_zero_prefix(self):
+        """A series created at global tick K acts as if it recorded K zeros."""
+        s = RingSeries("m", "s", step_ns=100, capacity=8, start_count=5)
+        s.append(4.0)
+        assert len(s) == 6
+        assert s.window(3) == [0.0, 0.0, 4.0]
+        assert s.window_sum(6) == 4.0
+        # Timeline alignment: the appended sample is global sample #5.
+        assert list(s.iter_points())[-1] == (600, 4.0)
+
+    def test_backfill_beyond_capacity(self):
+        s = RingSeries("m", "s", step_ns=100, capacity=4, start_count=100)
+        s.append(1.0)
+        assert len(s) == 4
+        assert s.window(4) == [0.0, 0.0, 0.0, 1.0]
+        assert s.last_time_ns == 101 * 100

@@ -1,0 +1,147 @@
+"""Count-min sketch guarantees and heavy-hitter tracking.
+
+The headline property test drives a 1k-flow workload through a sketch
+sized from (epsilon, delta) and checks both CMS guarantees: estimates
+never underestimate (deterministic), and the epsilon*N overestimate bound
+holds for all but ~delta of the keys (the bound is probabilistic per key,
+so the test allows the expected number of violations, not zero).
+"""
+
+import random
+
+import pytest
+
+from repro.monitor import CountMinSketch, HeavyHitters
+
+
+class TestGeometry:
+    def test_from_error_bound_sizing(self):
+        cms = CountMinSketch.from_error_bound(0.002, 0.02)
+        # width = ceil(e/eps) = 1360, depth = ceil(ln(1/delta)) = 4.
+        assert cms.width == 1360
+        assert cms.depth == 4
+        assert cms.epsilon <= 0.002
+        assert cms.delta <= 0.02
+        assert cms.memory_bytes == 8 * 1360 * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bound(0.0, 0.5)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bound(0.01, 1.5)
+
+
+class TestUpdates:
+    def test_estimate_exact_when_sparse(self):
+        cms = CountMinSketch(width=4096, depth=4)
+        cms.add("a", 10)
+        cms.add("b", 5)
+        assert cms.estimate("a") == 10
+        assert cms.estimate("b") == 5
+        assert cms.total == 15
+
+    def test_add_returns_new_estimate(self):
+        cms = CountMinSketch(width=1024, depth=4)
+        assert cms.add("k", 3) == 3
+        assert cms.add("k", 4) == 7
+
+    def test_nonpositive_count_is_a_read(self):
+        cms = CountMinSketch(width=64, depth=2)
+        cms.add("k", 9)
+        assert cms.add("k", 0) == 9
+        assert cms.total == 9
+
+    def test_never_underestimates_small(self):
+        cms = CountMinSketch(width=8, depth=2)  # tiny: force collisions
+        truth = {}
+        rng = random.Random(7)
+        for _ in range(500):
+            key = f"k{rng.randrange(50)}"
+            count = rng.randrange(1, 20)
+            cms.add(key, count)
+            truth[key] = truth.get(key, 0) + count
+        for key, true_count in truth.items():
+            assert cms.estimate(key) >= true_count
+
+    def test_deterministic_across_instances(self):
+        """Seeded CRC32 hashing: same stream, same sketch contents."""
+        a = CountMinSketch(width=256, depth=3, seed=42)
+        b = CountMinSketch(width=256, depth=3, seed=42)
+        for i in range(100):
+            a.add(f"flow-{i % 17}", i + 1)
+            b.add(f"flow-{i % 17}", i + 1)
+        for i in range(17):
+            key = f"flow-{i}"
+            assert a.indices(key) == b.indices(key)
+            assert a.estimate(key) == b.estimate(key)
+
+
+class TestErrorBoundProperty:
+    def test_epsilon_n_bound_under_1k_flows(self):
+        """estimate <= true + eps*N for (almost) all of 1000 flow keys.
+
+        Per-key violation probability is delta, so over 1000 keys a naive
+        all-keys assertion would be flaky-by-design; the test budgets
+        2*delta*keys violations (generous but still catches a broken
+        conservative update or hashing by orders of magnitude).
+        """
+        epsilon, delta = 0.002, 0.02
+        cms = CountMinSketch.from_error_bound(epsilon, delta, seed=3)
+        rng = random.Random(11)
+        keys = [
+            f"10.0.{i // 256}.{i % 256}:{10000 + i}->10.1.0.1:4791/17"
+            for i in range(1000)
+        ]
+        truth = dict.fromkeys(keys, 0)
+        # Zipf-ish mix: a few heavy flows, a long light tail.
+        for _ in range(20_000):
+            key = keys[min(rng.randrange(1000), rng.randrange(1000))]
+            count = rng.randrange(1, 1500)
+            cms.add(key, count)
+            truth[key] += count
+
+        bound = cms.error_bound()
+        assert bound == -(-cms.epsilon * cms.total // 1)  # ceil(eps*N)
+        violations = 0
+        for key in keys:
+            estimate = cms.estimate(key)
+            assert estimate >= truth[key], "CMS must never underestimate"
+            if estimate > truth[key] + bound:
+                violations += 1
+        assert violations <= max(1, int(2 * delta * len(keys)))
+
+    def test_counters_shape(self):
+        cms = CountMinSketch(width=16, depth=2)
+        cms.add("x", 4)
+        counters = cms.counters()
+        assert counters["updates"] == 1
+        assert counters["total"] == 4
+        assert counters["width"] == 16
+        assert counters["memory_bytes"] == 8 * 16 * 2
+
+
+class TestHeavyHitters:
+    def test_keeps_top_k(self):
+        hh = HeavyHitters(k=3)
+        for key, est in [("a", 5), ("b", 10), ("c", 1), ("d", 7), ("e", 2)]:
+            hh.offer(key, est)
+        assert [k for k, _ in hh.top()] == ["b", "d", "a"]
+
+    def test_update_in_place(self):
+        hh = HeavyHitters(k=2)
+        hh.offer("a", 5)
+        hh.offer("a", 9)
+        hh.offer("a", 4)  # stale lower estimate never regresses
+        assert hh.top() == [("a", 9)]
+
+    def test_ties_keep_resident(self):
+        hh = HeavyHitters(k=1)
+        hh.offer("a", 5)
+        hh.offer("b", 5)
+        assert hh.top() == [("a", 5)]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(k=0)

@@ -2,7 +2,9 @@
 
 import json
 
-from repro.obs import MetricsRegistry
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
 
 
 class TestMetricKinds:
@@ -76,3 +78,58 @@ class TestExport:
         assert list(doc["counters"]) == ["collector.epoch_reads", "events.verdict"]
         # Must round-trip through json (the --metrics-json export path).
         assert json.loads(json.dumps(doc)) == doc
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantiles_are_none(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        assert h.to_dict()["p50"] is None
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_single_value_all_quantiles_collapse(self):
+        h = Histogram()
+        h.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        h = Histogram()
+        for v in (10.0, 11.0, 12.0):
+            h.observe(v)
+        assert 10.0 <= h.quantile(0.5) <= 12.0
+        assert h.quantile(0.0) == 10.0
+        assert h.quantile(1.0) == 12.0
+
+    def test_quantiles_order_and_accuracy(self):
+        """Log2 buckets are exact within a factor of two: p95 of a uniform
+        1..1000 stream must land in [p95_true/2, p95_true*2]."""
+        h = Histogram()
+        for v in range(1, 1001):
+            h.observe(float(v))
+        p50, p95, p99 = h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)
+        assert p50 <= p95 <= p99
+        assert 250 <= p50 <= 1000
+        assert 475 <= p95 <= 1000
+        assert 495 <= p99 <= 1000
+
+    def test_to_dict_includes_quantile_summary(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        doc = h.to_dict()
+        assert set(doc) >= {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_zero_and_negative_values_bucket_safely(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-5.0)
+        h.observe(3.0)
+        assert h.quantile(0.5) is not None
+        assert h.min == -5.0

@@ -1,0 +1,64 @@
+"""Smoke tests: the shipped examples must run clean as documented.
+
+Each example is executed exactly as the README tells a user to run it
+(``PYTHONPATH=src python examples/<name>.py``) in a subprocess, so import
+errors, API drift, or assertion failures inside the examples fail here
+instead of on a reader's machine.  The monitoring examples carry their
+own assertions (storm alert fired, early warning preceded the verdict),
+so a zero exit code means the full advertised story held.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+SMOKED = [
+    "quickstart.py",
+    "continuous_monitoring.py",
+    "pfc_storm_monitoring.py",
+]
+
+
+def run_example(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", SMOKED)
+def test_example_runs_clean(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_monitoring_example_shows_the_alert_feed():
+    proc = run_example("pfc_storm_monitoring.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "alerts raised by the continuous monitor" in proc.stdout
+    assert "pfc_storm" in proc.stdout
+    assert "incident timeline" in proc.stdout
+
+
+def test_continuous_example_correlates_alerts_with_verdicts():
+    proc = run_example("continuous_monitoring.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "live alert feed" in proc.stdout
+    assert "early warning: True" in proc.stdout
+    assert "fabric dashboard" in proc.stdout

@@ -49,9 +49,9 @@ BASELINE = {
             "Diagnosis for victim 10.0.1.2:12000->10.0.0.3:4791/17:\n"
             "  [1] pfc-backpressure-flow-contention (root cause: flow-contention); "
             "initial congestion at E0_0.P3; PFC path: E0_1.P1 -> A0_0.P1 -> E0_0.P3; "
-            "culprits: 10.2.0.2:11004->10.0.0.2:4791/17 (w=21.47), "
-            "10.2.0.3:11005->10.0.0.2:4791/17 (w=16.57), "
-            "10.1.1.2:11002->10.0.0.2:4791/17 (w=14.75)"
+            "culprits: 10.2.0.2:11004->10.0.0.2:4791/17 (w=21.33), "
+            "10.2.0.3:11005->10.0.0.2:4791/17 (w=17.35), "
+            "10.1.1.2:11002->10.0.0.2:4791/17 (w=14.54)"
         ),
     },
     6: {
@@ -62,10 +62,10 @@ BASELINE = {
             "Diagnosis for victim 10.0.1.2:12000->10.0.0.3:4791/17:\n"
             "  [1] pfc-backpressure-flow-contention (root cause: flow-contention); "
             "initial congestion at E0_0.P4; PFC path: E0_1.P1 -> A0_0.P1 -> E0_0.P4; "
-            "culprits: 10.2.0.2:11009->10.0.0.2:4791/17 (w=164.23), "
-            "10.2.0.3:11010->10.0.0.2:4791/17 (w=70.76), "
-            "10.1.1.3:11007->10.0.0.2:4791/17 (w=49.72), "
-            "10.1.1.2:11005->10.0.0.2:4791/17 (w=45.62)"
+            "culprits: 10.2.0.2:11009->10.0.0.2:4791/17 (w=158.83), "
+            "10.2.0.3:11010->10.0.0.2:4791/17 (w=60.23), "
+            "10.1.1.2:11005->10.0.0.2:4791/17 (w=41.11), "
+            "10.2.0.2:11008->10.0.0.2:4791/17 (w=36.71)"
         ),
     },
 }
@@ -146,7 +146,6 @@ def test_incast_speedup_and_identical_diagnosis():
     )
     # Merge so the telemetry benchmark's keys survive regardless of order.
     payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
-    payload.pop("environment", None)
     payload["incast_speedup"] = runs
     write_bench_json(REPO_ROOT / BENCH_PERF_FILENAME, payload)
 
@@ -194,7 +193,6 @@ def test_obs_off_path_costs_nothing():
         ],
     )
     payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
-    payload.pop("environment", None)
     payload["obs_overhead"] = {
         "off_wall_s": round(off_wall, 4),
         "on_wall_s": round(on_wall, 4),
@@ -252,7 +250,6 @@ def test_monitor_overhead_bounded():
         ],
     )
     payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
-    payload.pop("environment", None)
     payload["monitor_overhead"] = {
         "off_wall_s": round(off_wall, 4),
         "on_wall_s": round(on_wall, 4),

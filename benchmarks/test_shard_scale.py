@@ -1,0 +1,165 @@
+"""Fleet-scale gate for the sharded simulator.
+
+Three records land in ``BENCH_perf.json``:
+
+- ``fleet_scale.smoke`` — the CI gate: 2-shard K=4 incast, diagnosis and
+  canonical obs trace byte-identical to the single-process engine;
+- ``fleet_scale.k8_gate`` — the throughput contract: the K=8 fleet incast
+  at 4 shards must beat the single-process engine's event rate by >=2x in
+  *aggregate* events/s (total events over the slowest shard's busy CPU
+  seconds — the rate the fabric achieves with one core per shard, immune
+  to core-starved CI machines time-slicing the workers);
+- ``fleet_scale.k16_frontier`` — the hosts x flows frontier: the first
+  K=16 entry (1024 hosts, 320 switches), still byte-identical.
+
+Like the hot-path gate, the speedup assertion is two-tier: a generous
+floor always, the full >=2x contract under ``REPRO_PERF_STRICT=1``.
+Identity is never relaxed.
+"""
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import (
+    BENCH_PERF_FILENAME,
+    RunConfig,
+    ScenarioSpec,
+    load_bench_json,
+    run_scenario,
+    run_scenario_sharded,
+    write_bench_json,
+)
+from repro.obs import ObsConfig, canonical_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+FLOOR_AGG_SPEEDUP = 1.5
+STRICT_AGG_SPEEDUP = 2.0
+
+
+def _fingerprint(result):
+    diagnosis = result.diagnosis()
+    return diagnosis.describe() if diagnosis else None
+
+
+def _pair(name, shards, seed=1, obs=False):
+    """Run one scenario single-process and sharded; return both results."""
+    spec = ScenarioSpec(name, seed=seed)
+    obs_cfg = ObsConfig(trace=True, sink="ring") if obs else None
+    gc.collect()
+    single = run_scenario(spec.build(), RunConfig(obs=obs_cfg))
+    gc.collect()
+    sharded = run_scenario_sharded(spec, RunConfig(obs=obs_cfg, shards=shards))
+    return single, sharded
+
+
+def _write_section(key, record):
+    payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
+    section = payload.setdefault("fleet_scale", {})
+    section[key] = record
+    write_bench_json(
+        REPO_ROOT / BENCH_PERF_FILENAME,
+        payload,
+        environment_extra={"fleet_gate_shards": record.get("shards")},
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+def test_shard_smoke_identical_diagnosis():
+    """The CI smoke: 2 shards on the paper's K=4 incast, zero divergence."""
+    single, sharded = _pair("incast-backpressure", shards=2, obs=True)
+    fp_single, fp_sharded = _fingerprint(single), _fingerprint(sharded)
+    assert fp_single is not None
+    assert fp_sharded == fp_single, "sharded run changed the diagnosis"
+    trace_identical = canonical_jsonl(
+        sharded.obs.tracer.records()
+    ) == canonical_jsonl(single.obs.tracer.records())
+    assert trace_identical, "sharded run changed the canonical obs trace"
+    _write_section(
+        "smoke",
+        {
+            "scenario": "incast-backpressure",
+            "shards": sharded.perf.shards,
+            "diagnosis_identical": True,
+            "obs_trace_identical": trace_identical,
+            "barrier_epochs": sharded.perf.barrier_epochs,
+        },
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+def test_fleet_k8_aggregate_speedup():
+    """The >=2x aggregate events/s contract on the K=8 fleet incast."""
+    single, sharded = _pair("fleet-incast-k8", shards=4)
+    fp_single, fp_sharded = _fingerprint(single), _fingerprint(sharded)
+    assert fp_single is not None, "fleet incast must trigger a diagnosis"
+    assert fp_sharded == fp_single, "sharded fleet run changed the diagnosis"
+
+    agg = sharded.perf.aggregate_events_per_sec
+    base = single.perf.events_per_sec
+    speedup = agg / base
+    topo = single.scenario.network.topology
+    record = {
+        "scenario": "fleet-incast-k8",
+        "hosts": len(topo.hosts),
+        "switches": len(topo.switches),
+        "flows": len(single.scenario.network.flows),
+        "shards": sharded.perf.shards,
+        "single_events_per_sec": round(base),
+        "aggregate_events_per_sec": round(agg),
+        "speedup": round(speedup, 3),
+        "barrier_epochs": sharded.perf.barrier_epochs,
+        "barrier_stall_s": round(sharded.perf.barrier_stall_s, 4),
+        "diagnosis_identical": True,
+    }
+    _write_section("k8_gate", record)
+    print_table(
+        "Fleet-scale aggregate throughput (K=8 incast, 4 shards)",
+        ("single ev/s", "aggregate ev/s", "speedup", "epochs"),
+        [(f"{base:,.0f}", f"{agg:,.0f}", f"{speedup:.2f}x",
+          sharded.perf.barrier_epochs)],
+    )
+    floor = STRICT_AGG_SPEEDUP if STRICT else FLOOR_AGG_SPEEDUP
+    assert speedup >= floor, (
+        f"aggregate speedup {speedup:.2f}x below the {floor}x "
+        f"{'strict ' if STRICT else ''}floor"
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+def test_fleet_k16_frontier():
+    """First K=16 entry of the hosts x flows frontier (1024 hosts)."""
+    single, sharded = _pair("fleet-incast-k16", shards=8)
+    fp_single, fp_sharded = _fingerprint(single), _fingerprint(sharded)
+    assert fp_single is not None, "K=16 fleet incast must trigger a diagnosis"
+    assert fp_sharded == fp_single
+
+    topo = single.scenario.network.topology
+    agg = sharded.perf.aggregate_events_per_sec
+    record = {
+        "scenario": "fleet-incast-k16",
+        "hosts": len(topo.hosts),
+        "switches": len(topo.switches),
+        "flows": len(single.scenario.network.flows),
+        "shards": sharded.perf.shards,
+        "events_run": single.perf.events_run,
+        "single_events_per_sec": round(single.perf.events_per_sec),
+        "aggregate_events_per_sec": round(agg),
+        "speedup": round(agg / single.perf.events_per_sec, 3),
+        "wall_s": round(sharded.perf.wall_s, 3),
+        "barrier_epochs": sharded.perf.barrier_epochs,
+        "diagnosis_identical": True,
+    }
+    assert record["hosts"] == 1024 and record["switches"] == 320
+    _write_section("k16_frontier", record)
+    print_table(
+        "Hosts x flows frontier (K=16 fat-tree, 8 shards)",
+        ("hosts", "switches", "flows", "wall", "aggregate ev/s"),
+        [(record["hosts"], record["switches"], record["flows"],
+          f"{record['wall_s']:.1f}s", f"{agg:,.0f}")],
+    )

@@ -81,7 +81,6 @@ def _merge_bench_json(updates):
     """Merge ``updates`` into BENCH_perf.json without dropping other keys."""
     path = REPO_ROOT / BENCH_PERF_FILENAME
     existing = load_bench_json(path) or {}
-    existing.pop("environment", None)  # write_bench_json re-adds fresh info
     existing.update(updates)
     write_bench_json(path, existing)
 

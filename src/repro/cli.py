@@ -157,6 +157,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", type=int, metavar="N", default=0,
                      help="profile the run and print the top N functions "
                           "by cumulative time (0 = off)")
+    run.add_argument("--shards", type=_positive_int, default=1, metavar="N",
+                     help="partition the fabric across N worker processes "
+                          "(clamped to the CPU count and the topology's "
+                          "pod groups; diagnoses are byte-identical to "
+                          "--shards 1)")
 
     trace = sub.add_parser(
         "trace",
@@ -237,6 +242,36 @@ def _cmd_list() -> int:
     return 0
 
 
+def _resolve_shards(args: argparse.Namespace, scenario) -> int:
+    """Clamp ``--shards`` to what the machine and topology can honor.
+
+    More worker processes than CPUs time-share cores for no aggregate
+    gain; more shards than partitionable pod groups is impossible by
+    construction.  Both clamp with a warning rather than erroring, so
+    scripted invocations stay portable across machine sizes.
+    """
+    shards = args.shards
+    if shards <= 1:
+        return 1
+    import os
+
+    cpus = os.cpu_count() or 1
+    if shards > cpus:
+        print(f"warning: --shards {shards} exceeds the {cpus} available "
+              f"CPU(s); clamping to {cpus}", file=sys.stderr)
+        shards = cpus
+    if shards > 1:
+        from .topology.partition import partition_topology
+
+        plan = partition_topology(scenario.network.topology, shards)
+        if plan.shards < shards:
+            print(f"warning: --shards {shards} exceeds the topology's "
+                  f"{plan.shards} partitionable pod group(s); clamping to "
+                  f"{plan.shards}", file=sys.stderr)
+            shards = plan.shards
+    return shards
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     builder = SCENARIO_BUILDERS[args.scenario]
     scenario = builder(seed=args.seed)
@@ -244,24 +279,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         system=SystemKind(args.system),
         epoch_size_ns=usec(args.epoch_us),
         threshold_multiplier=args.threshold,
+        shards=_resolve_shards(args, scenario),
     )
     print(f"scenario : {scenario.name}")
     print(f"           {scenario.description}")
     print(f"system   : {config.system.value}")
+    if config.shards > 1:
+        print(f"shards   : {config.shards} worker processes")
+
+    def _execute():
+        if config.shards > 1:
+            from .experiments import ScenarioSpec, run_scenario_sharded
+
+            return run_scenario_sharded(
+                ScenarioSpec(args.scenario, seed=args.seed), config
+            )
+        return run_scenario(scenario, config)
+
     if args.profile > 0:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = run_scenario(scenario, config)
+        result = _execute()
         profiler.disable()
         print(f"\n-- profile: top {args.profile} by cumulative time --")
         pstats.Stats(profiler, stream=sys.stdout).sort_stats(
             "cumulative"
         ).print_stats(args.profile)
     else:
-        result = run_scenario(scenario, config)
+        result = _execute()
 
     outcome = result.primary_outcome()
     if outcome is None:

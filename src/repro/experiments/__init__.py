@@ -21,11 +21,13 @@ from .runner import (
     ScenarioSpec,
     VictimOutcome,
     causal_switches_of,
+    diagnose_victims,
     run_scenario,
     run_scenarios_parallel,
     select_reports,
     summarize_run,
 )
+from .shardrun import run_scenario_sharded
 
 __all__ = [
     "MemoryBreakdown",
@@ -46,7 +48,9 @@ __all__ = [
     "ScenarioSpec",
     "VictimOutcome",
     "causal_switches_of",
+    "diagnose_victims",
     "run_scenario",
+    "run_scenario_sharded",
     "run_scenarios_parallel",
     "select_reports",
     "summarize_run",

@@ -11,6 +11,7 @@ a before/after paper trail.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from dataclasses import asdict, dataclass, field
@@ -45,6 +46,16 @@ class PerfStats:
     # pipeline (simulate, flush_pending, select_reports, graph_build,
     # diagnose, qualify), so BENCH_perf.json can show where time goes.
     stages: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # Sharded execution (``repro.experiments.shardrun``): worker count,
+    # barrier accounting, and the aggregate event rate — total events
+    # divided by the *slowest* shard's busy CPU seconds, i.e. the rate
+    # the fabric achieves with one core per shard (CPU time so that
+    # core-starved CI machines don't charge a shard for its siblings'
+    # scheduler slices).  All zero on single-process runs.
+    shards: int = 0
+    barrier_epochs: int = 0
+    barrier_stall_s: float = 0.0
+    aggregate_events_per_sec: float = 0.0
 
     @classmethod
     def from_run(
@@ -110,22 +121,36 @@ def diff_cache_counters(
     return out
 
 
-def environment_info() -> Dict[str, str]:
+def environment_info() -> Dict[str, Any]:
     """The platform facts a perf number is meaningless without."""
     return {
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
 def write_bench_json(
-    path: Union[str, Path], payload: Dict[str, Any]
+    path: Union[str, Path],
+    payload: Dict[str, Any],
+    environment_extra: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write a benchmark payload (adds environment metadata); returns path."""
+    """Write a benchmark payload (adds environment metadata); returns path.
+
+    ``environment_extra`` merges run-shape facts (e.g. the shard count a
+    fleet-scale gate ran with) into the environment block, next to the
+    host's ``cpu_count``.  Extras already present in ``payload``'s
+    environment survive the rewrite (platform facts are refreshed), so
+    benchmark files can each contribute keys regardless of write order.
+    """
     path = Path(path)
-    document = {"environment": environment_info(), **payload}
+    environment = dict(payload.pop("environment", None) or {})
+    environment.update(environment_info())
+    if environment_extra:
+        environment.update(environment_extra)
+    document = {"environment": environment, **payload}
     path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     return path
 

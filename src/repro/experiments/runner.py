@@ -19,7 +19,7 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..baselines.systems import (
     SystemKind,
@@ -78,6 +78,10 @@ class RunConfig:
     # the sim on the no-monitor fast path; like ``obs``, the frozen config
     # crosses process pools and each worker builds its own FabricMonitor.
     monitor: Optional[MonitorConfig] = None
+    # Partition one fabric across this many worker processes (see
+    # ``repro.experiments.shardrun``).  ``1`` runs in-process; values above
+    # the topology's pod count are clamped by the partitioner.
+    shards: int = 1
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(
@@ -179,7 +183,7 @@ def select_reports(
 def _qualify_diagnosis(
     diagnosis: Diagnosis,
     net,
-    engine: Optional[PollingEngine],
+    traced_of: Optional[Callable[[FlowKey], Set[str]]],
     victim,
     reports: Dict[str, SwitchReport],
 ) -> None:
@@ -194,8 +198,8 @@ def _qualify_diagnosis(
     expected: Set[str] = set(
         net.routing.switch_path(victim.src_host, victim.key.dst_ip, victim.key)
     )
-    if engine is not None:
-        expected |= engine.switches_traced_for(victim.key)
+    if traced_of is not None:
+        expected |= traced_of(victim.key)
     expected |= set(diagnosis.missing_switches)
     covered = set(reports)
     diagnosis.completeness = (
@@ -209,6 +213,96 @@ def _qualify_diagnosis(
         for name, report in reports.items()
         if report.faults
     )
+
+
+def diagnose_victims(
+    scenario: Scenario,
+    config: RunConfig,
+    net,
+    reports_list: List[SwitchReport],
+    triggers: Sequence[TriggerEvent],
+    traced_of: Optional[Callable[[FlowKey], Set[str]]],
+    now_ns: int,
+    obs: Optional[PipelineObs] = None,
+    monitor: Optional[FabricMonitor] = None,
+    profile: Optional[StageProfile] = None,
+) -> List[VictimOutcome]:
+    """Produce one :class:`VictimOutcome` per scenario victim.
+
+    This is the analyzer half of a run, shared between the in-process
+    runner (which passes its live collector/engine/agent state) and the
+    sharded orchestrator (which passes the merged state of its workers):
+    report selection, visibility transform, provenance construction,
+    diagnosis and qualification — identical inputs produce identical
+    outcomes no matter which execution produced the telemetry.
+    """
+    kind = config.system
+    scheme = config.scheme()
+    if profile is None:
+        profile = StageProfile(MetricsRegistry())
+    diagnoser = Diagnoser()
+    outcomes: List[VictimOutcome] = []
+    for victim in scenario.victims:
+        trigger = next((t for t in triggers if t.victim == victim.key), None)
+        if trigger is None:
+            outcomes.append(VictimOutcome(victim.key, None, None))
+            continue
+        with profile.stage("select_reports"):
+            raw = select_reports(reports_list, trigger.time_ns)
+        if traced_of is not None:
+            # Each diagnosis consumes telemetry only from the switches its
+            # own polling trace covered (concurrent victims of the same
+            # anomaly share reports; unrelated switches are never fetched).
+            traced = traced_of(victim.key)
+            raw = {name: r for name, r in raw.items() if name in traced}
+        if not kind.traces_pfc and not kind.collects_everywhere:
+            # Victim-path-only systems diagnose each complaint from the
+            # telemetry of that victim's own path — the whole point of the
+            # Fig 8 comparison is that this misses part of the PFC loop.
+            src_host = net.topology.host_of_ip(victim.key.src_ip)
+            on_path = set(
+                net.routing.switch_path(src_host, victim.key.dst_ip, victim.key)
+            )
+            raw = {name: r for name, r in raw.items() if name in on_path}
+        reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
+        with profile.stage("graph_build"):
+            annotated = build_provenance(
+                reports,
+                net.topology,
+                window_ns=scheme.window_ns,
+                victim=victim.key,
+                exclude_paused=config.exclude_paused_in_contention,
+                epoch_size_ns=scheme.epoch_size_ns,
+                obs=obs,
+                now_ns=now_ns,
+            )
+        victim_path = net.routing.flow_path(
+            victim.src_host, victim.key.dst_ip, victim.key
+        )[1:]
+        with profile.stage("diagnose"):
+            diagnosis = diagnoser.diagnose(
+                annotated,
+                victim.key,
+                victim_path_ports=victim_path,
+                obs=obs,
+                now_ns=now_ns,
+            )
+        with profile.stage("qualify"):
+            _qualify_diagnosis(diagnosis, net, traced_of, victim, reports)
+        if monitor is not None:
+            # The obs span must be read before on_verdict closes it.
+            span_id = (
+                obs.diagnosis_span_id(victim.key) if obs is not None else None
+            )
+            monitor.timeline.record_diagnosis(
+                diagnosis, trigger.time_ns, now_ns, span_id=span_id
+            )
+        if obs is not None:
+            obs.on_verdict(victim.key, now_ns, diagnosis)
+        outcomes.append(
+            VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
+        )
+    return outcomes
 
 
 def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:
@@ -331,70 +425,18 @@ def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunR
     if monitor is not None:
         monitor.finish(net.sim.now)
 
-    diagnoser = Diagnoser()
-    outcomes: List[VictimOutcome] = []
-    for victim in scenario.victims:
-        trigger = next(
-            (t for t in agent.triggers if t.victim == victim.key), None
-        )
-        if trigger is None:
-            outcomes.append(VictimOutcome(victim.key, None, None))
-            continue
-        with profile.stage("select_reports"):
-            raw = select_reports(collector.reports, trigger.time_ns)
-        if engine is not None:
-            # Each diagnosis consumes telemetry only from the switches its
-            # own polling trace covered (concurrent victims of the same
-            # anomaly share reports; unrelated switches are never fetched).
-            traced = engine.switches_traced_for(victim.key)
-            raw = {name: r for name, r in raw.items() if name in traced}
-        if not kind.traces_pfc and not kind.collects_everywhere:
-            # Victim-path-only systems diagnose each complaint from the
-            # telemetry of that victim's own path — the whole point of the
-            # Fig 8 comparison is that this misses part of the PFC loop.
-            src_host = net.topology.host_of_ip(victim.key.src_ip)
-            on_path = set(
-                net.routing.switch_path(src_host, victim.key.dst_ip, victim.key)
-            )
-            raw = {name: r for name, r in raw.items() if name in on_path}
-        reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
-        with profile.stage("graph_build"):
-            annotated = build_provenance(
-                reports,
-                net.topology,
-                window_ns=scheme.window_ns,
-                victim=victim.key,
-                exclude_paused=config.exclude_paused_in_contention,
-                epoch_size_ns=scheme.epoch_size_ns,
-                obs=obs,
-                now_ns=net.sim.now,
-            )
-        victim_path = net.routing.flow_path(
-            victim.src_host, victim.key.dst_ip, victim.key
-        )[1:]
-        with profile.stage("diagnose"):
-            diagnosis = diagnoser.diagnose(
-                annotated,
-                victim.key,
-                victim_path_ports=victim_path,
-                obs=obs,
-                now_ns=net.sim.now,
-            )
-        with profile.stage("qualify"):
-            _qualify_diagnosis(diagnosis, net, engine, victim, reports)
-        if monitor is not None:
-            # The obs span must be read before on_verdict closes it.
-            span_id = (
-                obs.diagnosis_span_id(victim.key) if obs is not None else None
-            )
-            monitor.timeline.record_diagnosis(
-                diagnosis, trigger.time_ns, net.sim.now, span_id=span_id
-            )
-        if obs is not None:
-            obs.on_verdict(victim.key, net.sim.now, diagnosis)
-        outcomes.append(
-            VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
-        )
+    outcomes = diagnose_victims(
+        scenario,
+        config,
+        net,
+        collector.reports,
+        agent.triggers,
+        engine.switches_traced_for if engine is not None else None,
+        net.sim.now,
+        obs=obs,
+        monitor=monitor,
+        profile=profile,
+    )
 
     data_pkt_hops = sum(sw.stats.data_pkts for sw in net.switches.values())
     data_pkts_sent = sum(f.packets_sent for f in net.flows)

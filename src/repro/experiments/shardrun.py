@@ -1,0 +1,628 @@
+"""Sharded scenario execution: one fabric, many worker processes.
+
+:func:`run_scenario_sharded` partitions a scenario's topology into pods
+(:func:`repro.topology.partition.partition_topology`), forks one worker
+per shard, and advances all shards in lockstep epochs under a
+conservative-lookahead barrier:
+
+- every worker owns the switches and hosts of its shard and simulates
+  them with a full private pipeline (telemetry deployment, collector,
+  polling engine, detection agent);
+- frames addressed to a remote node are flattened into the shard's
+  outbox (:class:`repro.sim.network.Network`) instead of its event loop;
+- at each barrier the orchestrator gathers outboxes, routes every frame
+  to its target shard, and grants a new epoch horizon
+  ``T' = min(duration, m + L - 1)`` where ``m`` is the earliest pending
+  work anywhere (local events or in-flight frames) and ``L`` is the
+  minimum cut-link latency.  No frame sent inside an epoch can arrive
+  within it (delivery delay >= link latency + serialization), so workers
+  never see a remote frame late.
+
+Determinism: deliveries are ordered by the engine's canonical
+``(send time, trigger schedule time, source, per-source seq)`` key in a
+per-timestamp delivery band, never by schedule-call order — so merging
+frames from another process reproduces the exact per-node event order of
+the single-process engine, and the merged diagnosis (and canonicalized
+obs trace, see :mod:`repro.obs.canon`) is byte-identical to ``shards=1``.
+
+The analyzer half (report selection through verdict) runs once, in the
+parent, over the merged worker state — the same
+:func:`repro.experiments.runner.diagnose_victims` the in-process runner
+uses.
+
+Not supported with ``shards > 1`` (raises ``ValueError``): fault
+injection/retry (the injector's RNG stream is global), the continuous
+fabric monitor, full-network collection baselines, and per-packet sim
+tracing — each couples shards through state the barrier protocol does
+not ship.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..baselines.systems import (
+    bandwidth_overhead_bytes,
+    processing_overhead_bytes,
+)
+from ..collection.agent import AgentConfig, DetectionAgent
+from ..collection.collector import TelemetryCollector
+from ..collection.polling import PollingConfig, PollingEngine
+from ..obs import Event, MetricsRegistry, PipelineObs, Span, StageProfile, Tracer
+from ..obs.trace import NullSink
+from ..sim.packet import POLLING_PACKET_SIZE, FlowKey
+from ..sim.shard import shard_build_context
+from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
+from ..telemetry.snapshot import SwitchReport
+from ..topology.partition import ShardPlan, partition_topology
+from .perfstats import PerfStats, diff_cache_counters, global_cache_counters
+from .runner import (
+    RunConfig,
+    RunResult,
+    ScenarioSpec,
+    causal_switches_of,
+    diagnose_victims,
+    run_scenario,
+)
+
+
+class ShardPipelineObs(PipelineObs):
+    """Worker-side observability that remembers what it could not anchor.
+
+    A worker has no scenario span (the parent owns the root) and only its
+    own victims' diagnosis/round spans; records for a *remote* victim fall
+    back to no parent.  Each fallback is noted as ``(record id, victim)``
+    so the merge step can re-anchor the record under the victim's round
+    span — reproducing exactly the parent the single-process
+    :meth:`PipelineObs._anchor` would have chosen.
+    """
+
+    def __init__(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        super().__init__(tracer, metrics)
+        self.fallbacks: List[Tuple[int, str]] = []
+
+    def _note(self, victim) -> None:
+        if (
+            victim is not None
+            and self._round.get(victim) is None
+            and self._diagnosis.get(victim) is None
+        ):
+            # The next record created gets id ``tracer._next_id``.
+            self.fallbacks.append((self.tracer._next_id, str(victim)))
+
+    def on_polling_mirror(self, switch, victim, time_ns):
+        self._note(victim)
+        super().on_polling_mirror(switch, victim, time_ns)
+
+    def on_polling_forward(self, switch, victim, time_ns, fanout):
+        self._note(victim)
+        super().on_polling_forward(switch, victim, time_ns, fanout)
+
+    def on_polling_suppressed(self, switch, victim, time_ns, kind):
+        self._note(victim)
+        super().on_polling_suppressed(switch, victim, time_ns, kind)
+
+    def on_polling_lost(self, switch, victim, time_ns):
+        self._note(victim)
+        super().on_polling_lost(switch, victim, time_ns)
+
+    def on_collection_shared(self, switch, victim, time_ns):
+        self._note(victim)
+        super().on_collection_shared(switch, victim, time_ns)
+
+    def on_epoch_read(self, switch, victim, start_ns, end_ns, epochs, faults=()):
+        self._note(victim)
+        super().on_epoch_read(switch, victim, start_ns, end_ns, epochs, faults)
+
+    def on_report(self, fate, switch, victim, time_ns, faults=(), delay_ns=0):
+        self._note(victim)
+        super().on_report(fate, switch, victim, time_ns, faults, delay_ns)
+
+
+def _unsupported(config: RunConfig) -> Optional[str]:
+    if config.faults is not None:
+        return "fault injection (global injector RNG stream)"
+    if config.retry is not None:
+        return "polling retry/backoff (depends on fault injection)"
+    if config.monitor is not None and config.monitor.enabled:
+        return "continuous fabric monitoring (fabric-global alert state)"
+    if config.obs is not None and config.obs.sim_events:
+        return "per-packet sim tracing (per-shard record floods)"
+    if config.system.collects_everywhere:
+        return "full-network collection baselines (global trigger fan-out)"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker_main(
+    conn, spec: ScenarioSpec, config: RunConfig, plan: ShardPlan, shard_id: int
+) -> None:
+    """One shard's process: build the shard view, obey epoch barriers."""
+    try:
+        with shard_build_context(plan.assignment, shard_id):
+            scenario = spec.build()
+        net = scenario.network
+        metrics = MetricsRegistry()
+        obs: Optional[ShardPipelineObs] = None
+        if config.obs is not None and config.obs.trace:
+            obs = ShardPipelineObs(Tracer(NullSink()), metrics)
+        deployment = HawkeyeDeployment(
+            net,
+            TelemetryConfig(scheme=config.scheme(), flow_slots=config.flow_slots),
+        )
+        collector = TelemetryCollector(deployment, obs=obs)
+        kind = config.system
+        engine: Optional[PollingEngine] = None
+        if kind.uses_polling_packets or kind.pfc_blind:
+            engine = PollingEngine(
+                net,
+                deployment,
+                PollingConfig(
+                    trace_pfc=kind.traces_pfc, use_meters=config.use_meters
+                ),
+                obs=obs,
+            )
+            engine.add_mirror_listener(collector.on_polling_mirror)
+        agent = DetectionAgent(
+            net,
+            AgentConfig(threshold_multiplier=config.threshold_multiplier),
+            obs=obs,
+        )
+
+        busy_s = 0.0
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "epoch":
+                until, frames = msg[1], msg[2]
+                # CPU time, not wall time: on a machine with fewer cores
+                # than shards the workers time-share, and wall time would
+                # charge each shard for its siblings' slices.  With one
+                # core per shard the two are equal.
+                t0 = time.process_time()
+                for frame in frames:
+                    net.deliver_from_wire(frame)
+                net.run(until)
+                busy_s += time.process_time() - t0
+                outbox = net.outbox
+                net.outbox = []
+                conn.send(("done", outbox, net.sim.peek_next_time()))
+            elif op == "finish":
+                collector.flush_pending(net.sim.now)
+                conn.send(
+                    (
+                        "final",
+                        _final_blob(
+                            net, collector, engine, agent, deployment, obs,
+                            metrics, busy_s,
+                        ),
+                    )
+                )
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown shard op {op!r}")
+    except Exception:  # pragma: no cover - shipped to parent for re-raise
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+def _final_blob(
+    net, collector, engine, agent, deployment, obs, metrics, busy_s
+) -> Dict[str, Any]:
+    """Everything the parent needs to merge one shard's finished state."""
+    blob: Dict[str, Any] = {
+        "shard_id": net.shard_id,
+        "reports": [r.to_columnar() for r in collector.reports],
+        "triggers": list(agent.triggers),
+        "victim_switches": (
+            {k: set(v) for k, v in engine._victim_switches.items()}
+            if engine is not None
+            else {}
+        ),
+        "collector_stats": asdict(collector.stats),
+        "polling_counters": {
+            "packets_forwarded": engine.polling_packets_forwarded if engine else 0,
+            "packets_suppressed": engine.polling_packets_suppressed if engine else 0,
+            "packets_lost": engine.polling_packets_lost if engine else 0,
+        },
+        "sim_counters": net.sim.counters(),
+        "data_pkt_hops": sum(sw.stats.data_pkts for sw in net.switches.values()),
+        "data_pkts_sent": sum(f.packets_sent for f in net.flows),
+        "cache_counters": {
+            name: {"hits": h, "misses": m}
+            for name, (h, m) in deployment.cache_counters().items()
+        },
+        "ecmp_cache": {
+            "hits": net.routing.select_cache_hits,
+            "misses": net.routing.select_cache_misses,
+        },
+        "metrics_counters": {
+            name: counter.value for name, counter in metrics._counters.items()
+        },
+        "busy_s": busy_s,
+        "trigger_count": len(agent.triggers),
+    }
+    if obs is not None:
+        tracer = obs.tracer
+        blob["obs"] = {
+            "spans": [s.to_record() for s in tracer.spans],
+            "events": [e.to_record() for e in tracer.events],
+            "open_ids": [s.span_id for s in tracer.open_spans()],
+            "diag_spans": {v: s.span_id for v, s in obs._diagnosis.items()},
+            "round_spans": {v: s.span_id for v, s in obs._round.items()},
+            "round_no": dict(obs._round_no),
+            "fallbacks": list(obs.fallbacks),
+            "next_id": tracer._next_id,
+        }
+    return blob
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator
+# ---------------------------------------------------------------------------
+
+
+def _merge_obs(
+    parent_obs: PipelineObs, blobs: List[Dict[str, Any]]
+) -> None:
+    """Fold worker trace records into the parent tracer, re-anchored.
+
+    Worker record ids are offset into one global sequence; spans and
+    events that a worker could only anchor to its (absent) root are
+    re-parented under the merged scenario span, and the victim-scoped
+    fallbacks noted by :class:`ShardPipelineObs` are re-anchored under
+    the victim's polling round (or diagnosis) span open at their
+    timestamp — the parent single-process ``_anchor`` would have chosen.
+    Open diagnosis/round spans are revived into the parent's bookkeeping
+    so the analyzer phase closes them exactly as ``run_scenario`` does.
+    """
+    tracer = parent_obs.tracer
+    scenario_span = parent_obs.scenario_span
+    assert scenario_span is not None
+    next_id = tracer._next_id
+    spans_by_id: Dict[int, Span] = {scenario_span.span_id: scenario_span}
+    events_by_id: Dict[int, Event] = {}
+    fallbacks: List[Tuple[int, str]] = []
+
+    for blob in blobs:
+        payload = blob.get("obs")
+        if payload is None:
+            continue
+        offset = next_id
+        next_id += payload["next_id"]
+        open_ids = set(payload["open_ids"])
+        for rec in payload["spans"]:
+            parent_id = rec["parent"]
+            span = Span(
+                rec["id"] + offset,
+                parent_id + offset if parent_id is not None else scenario_span.span_id,
+                rec["kind"],
+                rec["name"],
+                rec["start_ns"],
+                dict(rec["attrs"]),
+            )
+            if rec["id"] not in open_ids:
+                span.end_ns = rec["end_ns"]
+            spans_by_id[span.span_id] = span
+            tracer.spans.append(span)
+            if rec["id"] in open_ids:
+                tracer._open[span.span_id] = span
+        for rec in payload["events"]:
+            span_id = rec["span"]
+            event = Event(
+                rec["id"] + offset,
+                span_id + offset if span_id is not None else scenario_span.span_id,
+                rec["kind"],
+                rec["name"],
+                rec["time_ns"],
+                dict(rec["attrs"]),
+            )
+            events_by_id[event.event_id] = event
+            tracer.events.append(event)
+        fallbacks.extend((rid + offset, vstr) for rid, vstr in payload["fallbacks"])
+        for victim, span_id in payload["diag_spans"].items():
+            parent_obs._diagnosis[victim] = spans_by_id[span_id + offset]
+        for victim, span_id in payload["round_spans"].items():
+            parent_obs._round[victim] = spans_by_id[span_id + offset]
+        for victim, number in payload["round_no"].items():
+            parent_obs._round_no[victim] = number
+
+    tracer._next_id = next_id
+    tracer.spans.sort(key=lambda s: s.span_id)
+    tracer.events.sort(key=lambda e: e.event_id)
+
+    # Victim name -> its diagnosis span and (start-ordered) round spans.
+    diag_of: Dict[str, Span] = {}
+    rounds_of: Dict[str, List[Span]] = {}
+    for span in tracer.spans:
+        if span.kind == "diagnosis":
+            diag_of[span.attrs.get("victim", span.name)] = span
+    for span in tracer.spans:
+        if span.kind == "polling_round":
+            parent = spans_by_id.get(span.parent_id)
+            if parent is not None and parent.kind == "diagnosis":
+                victim = parent.attrs.get("victim", parent.name)
+                rounds_of.setdefault(victim, []).append(span)
+    for spans in rounds_of.values():
+        spans.sort(key=lambda s: (s.start_ns, s.span_id))
+
+    for rid, victim in fallbacks:
+        span = spans_by_id.get(rid)
+        event = events_by_id.get(rid)
+        at_ns = span.start_ns if span is not None else event.time_ns
+        candidates = [
+            r for r in rounds_of.get(victim, []) if r.start_ns <= at_ns
+        ]
+        target: Optional[Span] = candidates[-1] if candidates else None
+        if target is None:
+            diagnosis = diag_of.get(victim)
+            if diagnosis is not None and diagnosis.start_ns <= at_ns:
+                target = diagnosis
+        if target is None:
+            target = scenario_span
+        if span is not None:
+            span.parent_id = target.span_id
+        else:
+            event.span_id = target.span_id
+
+
+def run_scenario_sharded(
+    spec: ScenarioSpec, config: Optional[RunConfig] = None
+) -> RunResult:
+    """Run one scenario partitioned across ``config.shards`` processes.
+
+    The parent builds the full (unrun) scenario for topology, routing,
+    ground truth and the analyzer phase; each forked worker rebuilds the
+    scenario as a shard view and simulates only its own nodes.  Returns a
+    :class:`RunResult` whose diagnoses are byte-identical to
+    :func:`run_scenario` on the same spec.
+    """
+    import multiprocessing
+
+    config = config if config is not None else RunConfig()
+    reason = _unsupported(config)
+    if config.shards > 1 and reason is not None:
+        raise ValueError(f"shards={config.shards} does not support {reason}")
+
+    wall_start = time.perf_counter()
+    scenario = spec.build()
+    net = scenario.network
+    plan = partition_topology(net.topology, config.shards)
+    if plan.shards <= 1:
+        return run_scenario(scenario, config)
+
+    caches_before = global_cache_counters()
+    metrics = MetricsRegistry()
+    profile = StageProfile(metrics)
+    kind = config.system
+
+    obs: Optional[PipelineObs] = None
+    if config.obs is not None and config.obs.trace:
+        obs = PipelineObs(Tracer(config.obs.build_sink()), metrics)
+        obs.begin_scenario(scenario.name, start_ns=0, system=kind.value)
+
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    conns = []
+    procs = []
+    for shard_id in range(plan.shards):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, spec, config, plan, shard_id),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+
+    duration = scenario.duration_ns
+    lookahead = max(plan.lookahead_ns, 1)
+    node_shard = plan.assignment
+    frames_for: List[List[tuple]] = [[] for _ in range(plan.shards)]
+    barrier_epochs = 0
+    max_busy_s = 0.0
+
+    def _recv(shard_id: int):
+        msg = conns[shard_id].recv()
+        if msg[0] == "error":
+            for proc in procs:
+                proc.terminate()
+            raise RuntimeError(f"shard {shard_id} failed:\n{msg[1]}")
+        return msg
+
+    try:
+        with profile.stage("simulate"):
+            until = 0
+            while True:
+                barrier_epochs += 1
+                for shard_id, conn in enumerate(conns):
+                    conn.send(("epoch", until, frames_for[shard_id]))
+                    frames_for[shard_id] = []
+                earliest: Optional[int] = None
+                for shard_id in range(plan.shards):
+                    _, outbox, peek = _recv(shard_id)
+                    if peek is not None and (earliest is None or peek < earliest):
+                        earliest = peek
+                    for frame in outbox:
+                        arrival = frame[0]
+                        if arrival <= duration:
+                            frames_for[node_shard[frame[1]]].append(frame)
+                        if earliest is None or arrival < earliest:
+                            earliest = arrival
+                if until >= duration:
+                    break
+                if earliest is None:
+                    until = duration
+                else:
+                    until = min(duration, max(earliest + lookahead - 1, until + 1))
+        blobs = [None] * plan.shards
+        with profile.stage("flush_pending"):
+            for conn in conns:
+                conn.send(("finish",))
+            for shard_id in range(plan.shards):
+                msg = _recv(shard_id)
+                blobs[msg[1]["shard_id"]] = msg[1]
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+
+    # -- merge ---------------------------------------------------------------
+    reports: List[SwitchReport] = []
+    for blob in blobs:
+        reports.extend(SwitchReport.from_columnar(b) for b in blob["reports"])
+    reports.sort(key=lambda r: (r.collect_time, r.switch))
+    triggers = sorted(
+        (t for blob in blobs for t in blob["triggers"]),
+        key=lambda t: (t.time_ns, str(t.victim)),
+    )
+    victim_switches: Dict[FlowKey, set] = {}
+    for blob in blobs:
+        for victim, switches in blob["victim_switches"].items():
+            victim_switches.setdefault(victim, set()).update(switches)
+    traced_of: Optional[Callable[[FlowKey], set]] = None
+    if kind.uses_polling_packets or kind.pfc_blind:
+        traced_of = lambda key: set(victim_switches.get(key, ()))  # noqa: E731
+    if obs is not None:
+        _merge_obs(obs, blobs)
+
+    outcomes = diagnose_victims(
+        scenario,
+        config,
+        net,
+        reports,
+        triggers,
+        traced_of,
+        duration,
+        obs=obs,
+        monitor=None,
+        profile=profile,
+    )
+
+    # -- accounting ----------------------------------------------------------
+    data_pkt_hops = sum(blob["data_pkt_hops"] for blob in blobs)
+    data_pkts_sent = sum(blob["data_pkts_sent"] for blob in blobs)
+    polling_pkts = sum(
+        blob["polling_counters"]["packets_forwarded"] for blob in blobs
+    ) + len(triggers)
+    primary = next(
+        (
+            o
+            for o in sorted(
+                (o for o in outcomes if o.trigger is not None),
+                key=lambda o: o.trigger.time_ns,
+            )
+        ),
+        None,
+    )
+    diagnosis_reports = primary.reports_used if primary is not None else {}
+    processing = processing_overhead_bytes(kind, diagnosis_reports, data_pkt_hops)
+    bandwidth = bandwidth_overhead_bytes(
+        kind, polling_pkts, POLLING_PACKET_SIZE, data_pkts_sent, data_pkt_hops
+    )
+    causal: set = set()
+    for victim in scenario.victims:
+        causal |= causal_switches_of(scenario, victim.key)
+
+    cache_stats = diff_cache_counters(caches_before, global_cache_counters())
+    ecmp = {"hits": 0, "misses": 0}
+    merged_caches: Dict[str, Dict[str, int]] = {}
+    collector_stats: Dict[str, int] = {}
+    sim_counters: Dict[str, int] = {}
+    for blob in blobs:
+        ecmp["hits"] += blob["ecmp_cache"]["hits"]
+        ecmp["misses"] += blob["ecmp_cache"]["misses"]
+        for name, hm in blob["cache_counters"].items():
+            slot = merged_caches.setdefault(name, {"hits": 0, "misses": 0})
+            slot["hits"] += hm["hits"]
+            slot["misses"] += hm["misses"]
+        for name, value in blob["collector_stats"].items():
+            collector_stats[name] = collector_stats.get(name, 0) + value
+        for name, value in blob["sim_counters"].items():
+            sim_counters[name] = sim_counters.get(name, 0) + value
+        metrics.absorb_counters("", blob["metrics_counters"])
+    cache_stats["ecmp_select"] = ecmp
+    cache_stats.update(merged_caches)
+
+    events_run = sim_counters.get("events_run", 0)
+    busy = [blob["busy_s"] for blob in blobs]
+    max_busy_s = max(busy) if busy else 0.0
+    wall_s = time.perf_counter() - wall_start
+    sim_wall_s = profile.to_dict().get("simulate", {}).get("wall_s", wall_s)
+    perf = PerfStats(
+        scenario=scenario.name,
+        wall_s=wall_s,
+        events_run=events_run,
+        events_per_sec=events_run / wall_s if wall_s > 0 else 0.0,
+        peak_pending_events=max(
+            blob["sim_counters"].get("max_pending_entries", 0) for blob in blobs
+        ),
+        events_purged=sim_counters.get("events_purged", 0),
+        compactions=sim_counters.get("compactions", 0),
+        caches=cache_stats,
+        stages=profile.to_dict(),
+        shards=plan.shards,
+        barrier_epochs=barrier_epochs,
+        barrier_stall_s=max(sim_wall_s - max_busy_s, 0.0),
+        aggregate_events_per_sec=(
+            events_run / max_busy_s if max_busy_s > 0 else 0.0
+        ),
+    )
+
+    metrics.absorb_counters("sim", sim_counters)
+    metrics.absorb_counters("cache", cache_stats)
+    metrics.absorb_counters("collection", collector_stats)
+    metrics.absorb_counters(
+        "agent",
+        {
+            "triggers": len(triggers),
+            "retransmissions": 0,
+            "retries_recovered": 0,
+            "retries_exhausted": 0,
+            "restarts": 0,
+        },
+    )
+    if traced_of is not None:
+        polling_totals = {"packets_forwarded": 0, "packets_suppressed": 0, "packets_lost": 0}
+        for blob in blobs:
+            for name in polling_totals:
+                polling_totals[name] += blob["polling_counters"][name]
+        metrics.absorb_counters("polling", polling_totals)
+    metrics.gauge("run.wall_s").set(perf.wall_s)
+    metrics.gauge("run.sim_ns").set(float(duration))
+
+    if obs is not None:
+        obs.end_scenario(duration)
+
+    return RunResult(
+        scenario=scenario,
+        config=config,
+        outcomes=outcomes,
+        collected_switches=sorted({r.switch for r in reports}),
+        causal_switches=causal,
+        processing_bytes=processing,
+        bandwidth_bytes=bandwidth,
+        polling_packets=polling_pkts,
+        collections=collector_stats.get("collections", 0),
+        events_run=events_run,
+        data_pkt_hops=data_pkt_hops,
+        perf=perf,
+        metrics=metrics,
+        obs=obs,
+        monitor=None,
+    )

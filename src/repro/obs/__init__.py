@@ -14,6 +14,7 @@ Three planes, one package:
 ``repro trace`` CLI renders and the invariant tests validate.
 """
 
+from .canon import canonical_jsonl, canonicalize
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .pipeline import ObsConfig, PipelineObs, build_pipeline_obs
 from .profile import StageProfile
@@ -65,6 +66,8 @@ __all__ = [
     "Tracer",
     "build_pipeline_obs",
     "build_tree",
+    "canonical_jsonl",
+    "canonicalize",
     "check_causal_chains",
     "load_jsonl",
     "render_tree",

@@ -1,0 +1,79 @@
+"""Canonical form for trace record streams.
+
+A single-process run emits trace records in one global id sequence; a
+sharded run (``repro.experiments.shardrun``) emits the *same records* but
+numbered per worker and concatenated in shard order.  Record ids and
+stream position therefore differ between the two executions even when
+every record's content and causal ancestry are identical — which is
+exactly the equivalence the sharded determinism suite needs to check.
+
+:func:`canonicalize` reduces a record list to a normal form that depends
+only on content and ancestry:
+
+1. every record gets a *signature* — its content (type, kind, name,
+   timestamps, attrs) joined with the signature of its parent chain, so
+   two records agree iff they describe the same work anchored the same
+   way;
+2. records are sorted by signature and renumbered ``1..n`` in that
+   order, and parent/span references are rewritten through the old→new
+   id map;
+3. the result is serialized as sorted-key compact JSONL.
+
+Two runs are equivalent iff their canonical JSONL bytes are equal.
+Records with identical signatures are interchangeable by construction
+(their subtrees have identical signatures too), so the arbitrary order
+among duplicates cannot change the output bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+_CONTENT_KEYS = ("type", "kind", "name", "start_ns", "end_ns", "time_ns")
+
+
+def _signature(
+    record: Dict[str, Any],
+    by_id: Dict[int, Dict[str, Any]],
+    memo: Dict[int, str],
+) -> str:
+    rid = record["id"]
+    cached = memo.get(rid)
+    if cached is not None:
+        return cached
+    content = {k: record[k] for k in _CONTENT_KEYS if k in record}
+    content["attrs"] = record.get("attrs") or {}
+    parent_id = record.get("parent", record.get("span"))
+    parent = by_id.get(parent_id) if parent_id is not None else None
+    if parent is not None:
+        content["ancestry"] = _signature(parent, by_id, memo)
+    sig = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    memo[rid] = sig
+    return sig
+
+
+def canonicalize(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Renumber and reorder ``records`` into their canonical form."""
+    by_id = {r["id"]: r for r in records}
+    memo: Dict[int, str] = {}
+    ordered = sorted(records, key=lambda r: (_signature(r, by_id, memo), r["id"]))
+    new_id = {r["id"]: i + 1 for i, r in enumerate(ordered)}
+    canonical: List[Dict[str, Any]] = []
+    for record in ordered:
+        out = dict(record)
+        out["id"] = new_id[record["id"]]
+        for ref in ("parent", "span"):
+            if ref in out and out[ref] is not None:
+                out[ref] = new_id.get(out[ref], out[ref])
+        canonical.append(out)
+    return canonical
+
+
+def canonical_jsonl(records: List[Dict[str, Any]]) -> bytes:
+    """Canonical byte serialization — the determinism suite compares this."""
+    lines = [
+        json.dumps(r, sort_keys=True, separators=(",", ":"))
+        for r in canonicalize(records)
+    ]
+    return ("\n".join(lines) + "\n").encode() if lines else b""

@@ -19,12 +19,29 @@ schedule sequence), which keeps runs fully deterministic; across slots the
 heap yields times in increasing order.  Callbacks may carry pre-bound
 arguments (``schedule(delay, fn, *args)``) so hot call sites avoid
 allocating a closure per event.
+
+Inter-node packet deliveries use a separate *delivery band* per timestamp
+(:meth:`Simulator.schedule_delivery`), merged with the ordinary slot by
+*schedule time*: an entry scheduled (or sent) earlier executes earlier, an
+exact tie goes to the ordinary entry, and deliveries tied on send time
+order first by the schedule time of the event that issued the send (its
+ordering provenance), then by the canonical ``(source, per-source
+sequence)`` key.
+Because a delivery's position no longer depends on *which process issued
+the schedule call* — only on shippable values — the sharded runner
+(``repro.sim.shard``) can split one fabric across worker processes and
+still replay the exact per-node event order of a single-process run,
+while a single-process run deviates from the legacy scheduler only on
+exact schedule-time ties.
 """
 
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Callable, Dict, List, Optional
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Tuple
+
+_DELIVERY_ORDER = itemgetter(0)
 
 # Compaction sweep cadence: after this many executed events, sweep all
 # slots and drop cancelled entries.  Amortized cost is O(pending / interval)
@@ -35,10 +52,13 @@ COMPACT_INTERVAL_EVENTS = 1 << 15
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "sched", "fn", "args", "cancelled")
 
-    def __init__(self, time: int, fn: Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self, time: int, sched: int, fn: Callable[..., None], args: tuple
+    ) -> None:
         self.time = time
+        self.sched = sched  # simulated instant the schedule call was made
         self.fn = fn
         self.args = args
         self.cancelled = False
@@ -83,10 +103,19 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
+        # Schedule time of the entry currently executing: ``handle.sched``
+        # for ordinary events, the send time for delivery entries.  Sends
+        # issued from inside a callback inherit it as their ordering
+        # provenance (see Network.deliver) — a per-node, shippable value.
+        self.exec_sched: int = 0
         # time -> FIFO list of handles scheduled for that instant.
         self._slots: Dict[int, List[EventHandle]] = {}
         # Heap of occupied slot times; exactly one entry per live slot.
         self._slot_heap: List[int] = []
+        # time -> list of (order_key, fn, args) packet deliveries; executed
+        # after all ordinary events at that time, sorted by order_key.
+        self._bands: Dict[int, List[Tuple[tuple, Callable[..., None], tuple]]] = {}
+        self._band_heap: List[int] = []
         self._events_run: int = 0
         self._events_purged: int = 0
         self._compactions: int = 0
@@ -145,7 +174,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time_ns} (now is {self.now})"
             )
-        handle = EventHandle(time_ns, fn, args)
+        handle = EventHandle(time_ns, self.now, fn, args)
         slot = self._slots.get(time_ns)
         if slot is None:
             self._slots[time_ns] = [handle]
@@ -157,6 +186,35 @@ class Simulator:
         if pending > self._max_pending:
             self._max_pending = pending
         return handle
+
+    def schedule_delivery(
+        self, time_ns: int, order_key: tuple, fn: Callable[..., None], *args
+    ) -> None:
+        """Queue an inter-node packet delivery for ``time_ns``.
+
+        ``order_key`` must be ``(send_time, trigger_sched, source node,
+        per-source seq)`` where ``trigger_sched`` is :attr:`exec_sched` at
+        the send call: the run loop merges deliveries with ordinary events
+        by schedule/send time (ordinary entry wins an exact tie) and orders
+        deliveries tied on send time by the schedule time of the event that
+        issued the send, then by the canonical source key.  Delivery entries are not
+        cancellable (packets in flight cannot be recalled), which keeps the
+        band free of dead-entry bookkeeping.
+        """
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot deliver at {time_ns} (now is {self.now})"
+            )
+        band = self._bands.get(time_ns)
+        if band is None:
+            self._bands[time_ns] = [(order_key, fn, args)]
+            heappush(self._band_heap, time_ns)
+        else:
+            band.append((order_key, fn, args))
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self._max_pending:
+            self._max_pending = pending
 
     def schedule_every(
         self, interval_ns: int, fn: Callable[[], None]
@@ -175,45 +233,106 @@ class Simulator:
         never runs past it.  Cancelled head entries (including whole dead
         slots) are purged *before* the stopping check, so the ``until_ns``
         comparison never consults a dead head entry.
+
+        Deliveries queued via :meth:`schedule_delivery` for an instant run
+        only once every ordinary slot at that instant (including same-time
+        chains the slot spawns) has drained, in ``order_key`` order.
         """
         slots = self._slots
         slot_heap = self._slot_heap
-        while slot_heap:
-            time_ns = slot_heap[0]
-            slot = slots[time_ns]
-            # Drop the cancelled prefix so the head is live (or the slot dies).
+        bands = self._bands
+        band_heap = self._band_heap
+        while True:
+            # Find the next live ordinary slot, purging dead heads on the way.
+            slot_time: Optional[int] = None
+            slot: List[EventHandle] = []
             i = 0
-            n = len(slot)
-            while i < n and slot[i].cancelled:
-                i += 1
-            if i == n:
-                heappop(slot_heap)
-                del slots[time_ns]
-                self._events_purged += n
-                self._pending -= n
-                continue
-            if until_ns is not None and time_ns > until_ns:
-                if i:
+            while slot_heap:
+                time_ns = slot_heap[0]
+                slot = slots[time_ns]
+                # Drop the cancelled prefix so the head is live (or the slot dies).
+                i = 0
+                n = len(slot)
+                while i < n and slot[i].cancelled:
+                    i += 1
+                if i == n:
+                    heappop(slot_heap)
+                    del slots[time_ns]
+                    self._events_purged += n
+                    self._pending -= n
+                    continue
+                slot_time = time_ns
+                break
+            band_time = band_heap[0] if band_heap else None
+            if slot_time is None and band_time is None:
+                break
+            if band_time is not None and (slot_time is None or band_time < slot_time):
+                next_time = band_time
+            else:
+                next_time = slot_time
+            assert next_time is not None
+            if until_ns is not None and next_time > until_ns:
+                if slot_time == next_time and i:
                     del slot[:i]
                     self._events_purged += i
                     self._pending -= i
                 break
-            # Detach the slot; same-time events scheduled by callbacks open a
-            # fresh slot for this time and run after it (schedule order).
-            heappop(slot_heap)
-            del slots[time_ns]
-            self.now = time_ns
-            self._pending -= n
-            executed = 0
+            # Detach everything queued for this instant.  Same-time events
+            # scheduled by callbacks open a fresh slot and run in a later
+            # pass (their schedule time equals this instant, so they sort
+            # after every already-queued entry).
+            batch: List[tuple] = []
+            if band_time == next_time:
+                heappop(band_heap)
+                batch = bands.pop(next_time)
+                if len(batch) > 1:
+                    batch.sort(key=_DELIVERY_ORDER)
+            if slot_time == next_time:
+                heappop(slot_heap)
+                del slots[next_time]
+            else:
+                slot = []
+                i = 0
+            self.now = next_time
+            n = len(slot)
+            blen = len(batch)
+            self._pending -= n + blen
+            # Merge by schedule/send time: earlier-scheduled runs first, an
+            # ordinary entry wins an exact tie.  Slot entries are appended
+            # in nondecreasing schedule order and the band is sorted, so a
+            # single forward merge reproduces the global order.
+            slot_run = 0
+            bi = 0
+            while i < n and bi < blen:
+                handle = slot[i]
+                if handle.cancelled:
+                    i += 1
+                    continue
+                if handle.sched <= batch[bi][0][0]:
+                    i += 1
+                    slot_run += 1
+                    self.exec_sched = handle.sched
+                    handle.fn(*handle.args)
+                else:
+                    entry = batch[bi]
+                    bi += 1
+                    self.exec_sched = entry[0][0]
+                    entry[1](*entry[2])
             while i < n:
                 handle = slot[i]
                 i += 1
                 if handle.cancelled:
                     continue
-                executed += 1
+                slot_run += 1
+                self.exec_sched = handle.sched
                 handle.fn(*handle.args)
-            self._events_run += executed
-            self._events_purged += n - executed
+            while bi < blen:
+                entry = batch[bi]
+                bi += 1
+                self.exec_sched = entry[0][0]
+                entry[1](*entry[2])
+            self._events_run += slot_run + blen
+            self._events_purged += n - slot_run
             if self._events_run >= self._next_compact_at:
                 self._next_compact_at = self._events_run + COMPACT_INTERVAL_EVENTS
                 self.compact()
@@ -224,6 +343,7 @@ class Simulator:
         """Timestamp of the next live event, or ``None`` if the queue is idle."""
         slots = self._slots
         slot_heap = self._slot_heap
+        slot_time: Optional[int] = None
         while slot_heap:
             time_ns = slot_heap[0]
             slot = slots[time_ns]
@@ -236,12 +356,17 @@ class Simulator:
                     del slot[:i]
                     self._events_purged += i
                     self._pending -= i
-                return time_ns
+                slot_time = time_ns
+                break
             heappop(slot_heap)
             del slots[time_ns]
             self._events_purged += n
             self._pending -= n
-        return None
+        if self._band_heap:
+            band_time = self._band_heap[0]
+            if slot_time is None or band_time < slot_time:
+                return band_time
+        return slot_time
 
     def compact(self) -> int:
         """Drop every cancelled entry and empty slot; returns entries purged.

@@ -152,7 +152,7 @@ class Host:
         frame = Packet.pfc(priority, quanta, self.sim.now)
         self.injected_pause_frames += 1
         delay = serialization_delay_ns(frame.size, self.bandwidth) + self.delay_ns
-        self.network.deliver(self.peer, frame, delay)
+        self.network.deliver(self.peer, frame, delay, self.name)
         self.sim.schedule(interval_ns, self._inject_tick, priority, quanta, interval_ns)
 
     def inject_polling(self, victim: FlowKey, flag: PollingFlag = PollingFlag.VICTIM_PATH) -> None:
@@ -295,5 +295,5 @@ class Host:
         self.busy_until = now + ser
         self.tx_bytes += pkt.size
         self.tx_pkts += 1
-        self.network.deliver(self.peer, pkt, ser + self.delay_ns)
+        self.network.deliver(self.peer, pkt, ser + self.delay_ns, self.name)
         self._schedule_pump(self.busy_until)

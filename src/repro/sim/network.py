@@ -12,6 +12,7 @@ from .engine import Simulator
 from .flow import Flow
 from .host import Host
 from .packet import ACK_SIZE, FlowKey, Packet
+from .shard import RemoteHostStub, current_build_context, packet_to_wire
 from .switch import Switch, SwitchObserver
 
 
@@ -22,6 +23,11 @@ class Network:
     :class:`Host` per topology host, all sharing a single event loop.
     Telemetry systems attach observers to switches; the collection layer
     installs polling handlers; workloads start :class:`Flow` objects.
+
+    When a shard build context is active (``repro.sim.shard``), only the
+    nodes assigned to the current shard are instantiated; remote hosts
+    become stubs, and frames addressed to remote nodes are appended to
+    :attr:`outbox` for the orchestrator to ship at the next epoch barrier.
     """
 
     def __init__(
@@ -35,20 +41,36 @@ class Network:
         self.config = config if config is not None else SimConfig()
         self.sim = Simulator()
         self.switches: Dict[str, Switch] = {}
-        self.hosts: Dict[str, Host] = {}
+        self.hosts: Dict[str, object] = {}
         self.flows: List[Flow] = []
         # node name -> bound receive method; saves a topology lookup plus a
-        # closure allocation on every single frame delivery.
+        # closure allocation on every single frame delivery.  In a shard
+        # view only local nodes appear here — a missed lookup routes the
+        # frame to the outbox.
         self._receive_of: Dict[str, object] = {}
+        # Per-source delivery sequence numbers: the canonical delivery
+        # order key is (source node, seq), identical no matter which
+        # process scheduled the delivery.
+        self._send_seq: Dict[str, int] = {}
+        self.outbox: List[tuple] = []
+        self.shard_id: Optional[int] = None
         self._build()
 
     def _build(self) -> None:
+        ctx = current_build_context()
+        if ctx is not None:
+            self.shard_id = ctx.shard_id
         for node in self.topology.switches:
+            if ctx is not None and not ctx.is_local(node.name):
+                continue
             switch = Switch(node.name, self, self.config)
             self.switches[node.name] = switch
             self._receive_of[node.name] = switch.receive
         for node in self.topology.hosts:
             ip = self.topology.host_ip(node.name)
+            if ctx is not None and not ctx.is_local(node.name):
+                self.hosts[node.name] = RemoteHostStub(node.name, ip)
+                continue
             host = Host(node.name, ip, self, self.config)
             self.hosts[node.name] = host
             self._receive_of[node.name] = host.receive
@@ -60,19 +82,50 @@ class Network:
         node = self.topology.node(end.node)
         peer_is_host = self.topology.node(peer.node).is_host
         if node.is_switch:
-            self.switches[end.node].attach_port(end.port, bandwidth, delay_ns, peer, peer_is_host)
+            switch = self.switches.get(end.node)
+            if switch is not None:  # absent only in a shard view
+                switch.attach_port(end.port, bandwidth, delay_ns, peer, peer_is_host)
         else:
+            # Stubs record bandwidth/delay too: builders read them.
             self.hosts[end.node].attach_uplink(bandwidth, delay_ns, peer)
 
     # -- runtime ------------------------------------------------------------------
 
-    def deliver(self, target: PortRef, pkt: Packet, delay_ns: int) -> None:
-        """Schedule delivery of ``pkt`` at the remote endpoint ``target``."""
-        self.sim.schedule(delay_ns, self._receive_of[target.node], pkt, target.port)
+    def deliver(self, target: PortRef, pkt: Packet, delay_ns: int, src: str) -> None:
+        """Schedule delivery of ``pkt`` from node ``src`` at endpoint ``target``.
+
+        Deliveries go through the simulator's per-timestamp delivery band
+        keyed by ``(send time, trigger schedule time, src, per-source
+        seq)``; frames addressed to nodes this shard does not own are
+        flattened into the outbox instead.
+        """
+        seq = self._send_seq.get(src, 0) + 1
+        self._send_seq[src] = seq
+        receive = self._receive_of.get(target.node)
+        now = self.sim.now
+        key = (now, self.sim.exec_sched, src, seq)
+        if receive is not None:
+            self.sim.schedule_delivery(now + delay_ns, key, receive, pkt, target.port)
+        else:
+            self.outbox.append(
+                (now + delay_ns, target.node, target.port, key, packet_to_wire(pkt))
+            )
+
+    def deliver_from_wire(self, frame: tuple) -> None:
+        """Queue a frame shipped from another shard (see :data:`WireFrame`)."""
+        from .shard import packet_from_wire
+
+        arrival_ns, node, port, key, wire = frame
+        self.sim.schedule_delivery(
+            arrival_ns, key, self._receive_of[node], packet_from_wire(wire), port
+        )
 
     def start_flow(self, flow: Flow) -> None:
+        host = self.hosts[flow.src_host]
+        if isinstance(host, RemoteHostStub):
+            return  # the source host's home shard runs this flow
         self.flows.append(flow)
-        self.hosts[flow.src_host].start_flow(flow)
+        host.start_flow(flow)
 
     def run(self, until_ns: int) -> None:
         self.sim.run(until_ns)

@@ -371,7 +371,7 @@ class Switch:
         for obs in self._obs_pfc_tx:
             obs.on_pfc_sent(self, now, port_no, priority, quanta)
         frame = Packet.pfc(priority, quanta, now)
-        self.network.deliver(port.peer, frame, port.pfc_tx_latency)
+        self.network.deliver(port.peer, frame, port.pfc_tx_latency, self.name)
 
     # -- transmit path -------------------------------------------------------------
 
@@ -419,7 +419,7 @@ class Switch:
 
         ser = serialization_delay_ns(size, port.bandwidth)
         port.busy_until = now + ser
-        self.network.deliver(port.peer, pkt, ser + port.delay_ns)
+        self.network.deliver(port.peer, pkt, ser + port.delay_ns, self.name)
         self.sim.schedule(ser, self._try_transmit, port_no)
 
     def _pick_packet(self, port: _Port, now: int) -> Optional[Packet]:

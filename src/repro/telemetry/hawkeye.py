@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..sim.packet import DATA_PRIORITY, FlowKey, Packet, pause_quanta_to_ns
 from ..sim.switch import Switch, SwitchObserver
+from . import vectorflush
 from .epoch import EpochScheme
 from .records import EpochData, FlowEntry, PortEntry
 from .snapshot import SwitchReport
@@ -331,12 +332,24 @@ class HawkeyeSwitchTelemetry(SwitchObserver):
         self._reset_gen += 1
 
     def _flush(self, bank: _EpochBank) -> None:
-        """Drain the pending queue into the register columns, in order."""
+        """Drain the pending queue into the register columns, in order.
+
+        Long queues take the numpy scatter-add path
+        (:mod:`repro.telemetry.vectorflush`), which is bit-identical to
+        the scalar loop below; short queues stay scalar (lower constant),
+        and the scalar loop is also the fallback when numpy is missing.
+        """
         pending = bank.pending
         if not pending:
             return
         if bank.slot_kid is None:
             self._allocate(bank)
+        if (
+            vectorflush.HAVE_NUMPY
+            and len(pending) >= vectorflush.MIN_VECTOR_EVENTS
+        ):
+            vectorflush.flush_pending(self, bank)
+            return
         num_ports = self._num_ports  # type: ignore[assignment]
         key_of_get = self._key_of.get
         key_of = self._key_of
@@ -507,33 +520,50 @@ class HawkeyeSwitchTelemetry(SwitchObserver):
                     existing.qdepth_sum_pkts += qdepth
                     existing.byte_count += byte_count
                     existing.qdepth_paused_sum_pkts += qd_paused
-            slot_kid = bank.slot_kid
-            slot_egress = bank.slot_egress
-            slot_pkt = bank.slot_pkt
-            slot_paused = bank.slot_paused
-            slot_qdepth = bank.slot_qdepth
-            slot_bytes = bank.slot_bytes
-            slot_qd_paused = bank.slot_qd_paused
-            for slot in sorted(bank.occupied):
-                kid = slot_kid[slot]
-                key = (keys[kid], slot_egress[slot])
+            occupied = sorted(bank.occupied)
+            if vectorflush.HAVE_NUMPY and len(occupied) >= 32:
+                # Columnar scan: seven vector gathers instead of seven
+                # ``array`` subscripts per occupied slot.
+                columns = zip(*vectorflush.gather_slots(bank, occupied))
+            else:
+                slot_kid = bank.slot_kid
+                slot_egress = bank.slot_egress
+                slot_pkt = bank.slot_pkt
+                slot_paused = bank.slot_paused
+                slot_qdepth = bank.slot_qdepth
+                slot_bytes = bank.slot_bytes
+                slot_qd_paused = bank.slot_qd_paused
+                columns = (
+                    (
+                        slot_kid[slot],
+                        slot_egress[slot],
+                        slot_pkt[slot],
+                        slot_paused[slot],
+                        slot_qdepth[slot],
+                        slot_bytes[slot],
+                        slot_qd_paused[slot],
+                    )
+                    for slot in occupied
+                )
+            for kid, egress, pkt, paused, qdepth, byte_count, qd_paused in columns:
+                key = (keys[kid], egress)
                 existing = flows.get(key)
                 if existing is None:
                     flows[key] = FlowEntry(
                         key=keys[kid],
-                        egress_port=slot_egress[slot],
-                        pkt_count=slot_pkt[slot],
-                        paused_count=slot_paused[slot],
-                        qdepth_sum_pkts=slot_qdepth[slot],
-                        byte_count=slot_bytes[slot],
-                        qdepth_paused_sum_pkts=slot_qd_paused[slot],
+                        egress_port=egress,
+                        pkt_count=pkt,
+                        paused_count=paused,
+                        qdepth_sum_pkts=qdepth,
+                        byte_count=byte_count,
+                        qdepth_paused_sum_pkts=qd_paused,
                     )
                 else:
-                    existing.pkt_count += slot_pkt[slot]
-                    existing.paused_count += slot_paused[slot]
-                    existing.qdepth_sum_pkts += slot_qdepth[slot]
-                    existing.byte_count += slot_bytes[slot]
-                    existing.qdepth_paused_sum_pkts += slot_qd_paused[slot]
+                    existing.pkt_count += pkt
+                    existing.paused_count += paused
+                    existing.qdepth_sum_pkts += qdepth
+                    existing.byte_count += byte_count
+                    existing.qdepth_paused_sum_pkts += qd_paused
             port_pkt = bank.port_pkt
             port_paused = bank.port_paused
             port_qdepth = bank.port_qdepth

@@ -8,6 +8,7 @@ from .builders import (
     build_line,
     build_ring,
 )
+from .partition import ShardPlan, partition_topology
 from .routing import RoutingError, RoutingTable, make_ring_cbd_routes
 from .cbd import (
     buffer_dependency_graph,
@@ -30,6 +31,8 @@ __all__ = [
     "build_ring",
     "RoutingError",
     "RoutingTable",
+    "ShardPlan",
+    "partition_topology",
     "make_ring_cbd_routes",
     "buffer_dependency_graph",
     "check_deadlock_free",

@@ -57,10 +57,70 @@ class RoutingTable:
     # -- construction --------------------------------------------------------
 
     def _build(self) -> None:
-        for sw in self.topology.switches:
+        """Build every host's next-hop tables with one BFS per ToR.
+
+        A single-homed host's distance to any other node is exactly one
+        more than its ToR's, so all hosts behind one ToR share the same
+        shortest-path next hops everywhere except at the ToR itself
+        (where the next hop is the host-facing port).  BFS therefore runs
+        once per *edge switch*, not once per host, over a plain-tuple
+        adjacency list — at fleet scale (K=16, 1024 hosts) this takes the
+        table build from minutes to seconds.  Hosts that are not
+        single-homed (only reachable by driving the table directly in
+        tests) keep the exact per-host BFS.
+        """
+        topo = self.topology
+        for sw in topo.switches:
             self._ecmp[sw.name] = {}
-        for host in self.topology.hosts:
-            self._build_for_host(host.name)
+        # node -> [(local_port, remote_node)], in link-addition order —
+        # the same order ``Topology.neighbors`` yields, without paying a
+        # PortRef construction and hash per step.
+        adj: Dict[str, List[Tuple[int, str]]] = {n.name: [] for n in topo.nodes}
+        for link in topo.links:
+            adj[link.a.node].append((link.a.port, link.b.node))
+            adj[link.b.node].append((link.b.port, link.a.node))
+
+        by_tor: Dict[str, List[str]] = {}
+        for host in topo.hosts:
+            entries = adj[host.name]
+            if len(entries) == 1:
+                by_tor.setdefault(entries[0][1], []).append(host.name)
+            else:
+                self._build_for_host(host.name)
+
+        switch_names = [sw.name for sw in topo.switches]
+        for tor, host_names in by_tor.items():
+            dist: Dict[str, int] = {tor: 0}
+            frontier = deque([tor])
+            while frontier:
+                node = frontier.popleft()
+                d = dist[node] + 1
+                for _, remote in adj[node]:
+                    if remote not in dist:
+                        dist[remote] = d
+                        frontier.append(remote)
+            dist_get = dist.get
+            # Shared next-hop port lists for every switch except the ToR.
+            shared: List[Tuple[str, List[int]]] = []
+            for sw in switch_names:
+                dsw = dist_get(sw)
+                if dsw is None or sw == tor:
+                    continue
+                ports = sorted(
+                    port
+                    for port, remote in adj[sw]
+                    if dist_get(remote) == dsw - 1
+                )
+                if ports:
+                    shared.append((sw, ports))
+            for host_name in host_names:
+                dst_ip = topo.host_ip(host_name)
+                for sw, ports in shared:
+                    self._ecmp[sw][dst_ip] = ports
+                # At the ToR the next hop is the host-facing port itself.
+                self._ecmp[tor][dst_ip] = [
+                    port for port, remote in adj[tor] if remote == host_name
+                ]
 
     def _build_for_host(self, host_name: str) -> None:
         """BFS outward from a host; record all shortest next-hops per switch."""

@@ -5,6 +5,7 @@ from .anomalies import (
     BACKGROUND_SCALE,
     SCENARIO_BUILDERS,
     add_background_traffic,
+    fleet_incast_scenario,
     in_loop_deadlock_scenario,
     incast_backpressure_scenario,
     normal_contention_scenario,
@@ -23,6 +24,7 @@ __all__ = [
     "BACKGROUND_SCALE",
     "SCENARIO_BUILDERS",
     "add_background_traffic",
+    "fleet_incast_scenario",
     "in_loop_deadlock_scenario",
     "incast_backpressure_scenario",
     "lordma_attack_scenario",

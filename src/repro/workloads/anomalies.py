@@ -271,7 +271,11 @@ def in_loop_deadlock_scenario(
 ) -> Scenario:
     """Short burst at a ring port closes the pause cycle (Figure 1c)."""
     topo, net, _ = _ring_network(seed, config)
-    circulation = _circulation_flows(net)
+    # 0.4 of line rate apiece puts 0.8 standing load on every ring link:
+    # once the micro-burst closes the pause cycle, the circulating bytes
+    # alone hold each ring ingress above Xon, so the wedge is
+    # self-sustaining rather than sensitive to same-instant event order.
+    circulation = _circulation_flows(net, rate_fraction=0.4)
 
     # Micro-bursts over the SW2->SW3 ring link: local hosts on SW2 blast a
     # host on SW3 — the in-loop initial congestion point.
@@ -484,6 +488,92 @@ def lordma_attack_scenario(
     )
 
 
+# ---------------------------------------------------------------------------
+# Fleet-scale incast: every pod busy, one diagnosed victim (sharding workload)
+# ---------------------------------------------------------------------------
+
+
+def fleet_incast_scenario(
+    seed: int = 1,
+    k: int = 8,
+    burst_size: int = 400 * KB,
+    local_burst_size: int = 300 * KB,
+    duration_ns: int = msec(4),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """Datacenter-scale incast: a K-ary fat-tree with every pod under load.
+
+    Pod 0 reproduces the Figure 1a anomaly — remote micro-bursts converge
+    on ``H0_0_0`` and back-pressure an innocent victim flow — while every
+    other pod runs an independent intra-pod incast of its own.  The
+    per-pod incasts never share a queue with the diagnosed victim; they
+    exist to spread simulation work uniformly over the fabric, which is
+    exactly the load shape the sharded runner
+    (:mod:`repro.experiments.shardrun`) partitions by pod.  K=8 is the
+    aggregate-throughput benchmark; K=16 is the hosts-by-flows frontier.
+    """
+    topo = build_fat_tree(k=k)
+    cfg = _config(seed, config)
+    if config is None:
+        cfg.pfc = PfcConfig(xoff_bytes=80 * KB, xon_bytes=40 * KB)
+    net = Network(topo, config=cfg)
+    rng = random.Random(seed)
+    half = k // 2
+
+    # The diagnosed anomaly, pod 0: cross-pod senders burst into H0_0_0
+    # (the incast_backpressure_scenario shape, scaled with K).  One
+    # source per edge of pods 1 and 2 — K senders — so the PFC cascade
+    # covers every aggregation switch of pod 0 even though ECMP spreads
+    # the bursts over K/2 of them; with the paper's K=4 pod the original
+    # six senders achieve the same coverage.
+    target = "H0_0_0"
+    burst_sources = [f"H{p}_{e}_0" for p in (1, 2) for e in range(half)]
+    burst_start = usec(40)
+    culprits = []
+    port = 11000
+    for src in burst_sources:
+        jitter = rng.randrange(0, usec(5))
+        flow = net.make_flow(src, target, burst_size, burst_start + jitter,
+                             src_port=port)
+        port += 1
+        net.start_flow(flow)
+        culprits.append(flow)
+
+    victim = net.make_flow("H0_1_0", "H0_0_1", 2_000 * KB, usec(10), src_port=12000)
+    net.start_flow(victim)
+
+    # Background anomalies, pods 1..K-1: an intra-pod incast per pod
+    # (sources on edges 1 and 2, sink on edge 0).  Uniform per-pod load —
+    # no queue is shared with pod 0's victim.
+    for pod in range(1, k):
+        sink = f"H{pod}_0_1"
+        for e in (1, 2):
+            for j in (0, 1):
+                src = f"H{pod}_{e}_{j}"
+                jitter = rng.randrange(0, usec(5))
+                flow = net.make_flow(src, sink, local_burst_size,
+                                     burst_start + jitter, src_port=port)
+                port += 1
+                net.start_flow(flow)
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.MICRO_BURST_INCAST,
+        culprit_flows=[f.key for f in culprits],
+        initial_port=topo.attachment_of(target),
+    )
+    return Scenario(
+        name=f"fleet-incast-k{k}-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description=(
+            f"K={k} fat-tree with an incast in every pod; pod 0's incast "
+            "back-pressures the diagnosed victim."
+        ),
+    )
+
+
 SCENARIO_BUILDERS = {
     "lordma-attack": lordma_attack_scenario,
     "incast-backpressure": incast_backpressure_scenario,
@@ -491,4 +581,6 @@ SCENARIO_BUILDERS = {
     "in-loop-deadlock": in_loop_deadlock_scenario,
     "out-of-loop-deadlock": out_of_loop_deadlock_scenario,
     "normal-contention": normal_contention_scenario,
+    "fleet-incast-k8": lambda seed=1: fleet_incast_scenario(seed=seed, k=8),
+    "fleet-incast-k16": lambda seed=1: fleet_incast_scenario(seed=seed, k=16),
 }

@@ -107,3 +107,46 @@ class TestChaos:
         rc = main(["chaos", "no-such-scenario"])
         assert rc == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestShards:
+    """``--shards`` validation: reject non-positive, clamp with warnings."""
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "pfc-storm", "--shards", value])
+        assert exc.value.code == 2
+        assert "must be" in capsys.readouterr().err
+
+    def test_clamped_to_cpu_count(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        rc = main(["run", "incast-backpressure", "--shards", "8"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "exceeds the 1 available CPU" in captured.err
+        # Clamped all the way to 1: the in-process engine, no shard banner.
+        assert "worker processes" not in captured.out
+
+    def test_clamped_to_pod_groups(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        rc = main(["run", "incast-backpressure", "--shards", "32"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "partitionable pod group" in captured.err
+        assert "worker processes" in captured.out
+        assert "CORRECT" in captured.out
+
+    def test_sharded_run_diagnoses(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        rc = main(["run", "incast-backpressure", "--shards", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "shards   : 2 worker processes" in captured.out
+        assert "CORRECT" in captured.out

@@ -1,0 +1,137 @@
+"""Partitioner property tests: balance, no lost links, lookahead.
+
+The sharded runner's correctness argument leans on three invariants of
+:func:`repro.topology.partition_topology`:
+
+- every node lands in exactly one shard and every link is either fully
+  intra-shard or in the cut set (nothing is lost),
+- hosts are never separated from their ToR (host links are never cut), and
+- the conservative-lookahead horizon equals the minimum propagation delay
+  over the cut links.
+
+These are checked as properties across the fat-tree family K in
+{4, 6, 8, 16} and across the other builders.
+"""
+
+import pytest
+
+from repro.topology import (
+    build_dumbbell,
+    build_fat_tree,
+    build_leaf_spine,
+    build_ring,
+    partition_topology,
+)
+
+FAT_TREE_KS = [4, 6, 8, 16]
+
+
+def _check_plan(topo, plan):
+    """Shared invariants: full coverage, consistent cut set, lookahead."""
+    # Every node assigned to exactly one valid shard.
+    assert set(plan.assignment) == {n.name for n in topo.nodes}
+    assert all(0 <= sid < plan.shards for sid in plan.assignment.values())
+    # Every link is intra-shard or a cut link; no link is both or neither.
+    cut = set()
+    for link in plan.cut_links:
+        key = (link.a, link.b)
+        assert key not in cut
+        cut.add(key)
+    for link in topo.links:
+        same = plan.assignment[link.a.node] == plan.assignment[link.b.node]
+        assert same != ((link.a, link.b) in cut)
+    assert len(cut) == len(plan.cut_links)
+    # Host links are never cut: a host shares its ToR's shard.
+    for host in topo.hosts:
+        tor = topo.attachment_of(host.name).node
+        assert plan.assignment[host.name] == plan.assignment[tor]
+    # Cut-edge lookahead is the minimum boundary link latency.
+    if plan.cut_links:
+        assert plan.lookahead_ns == min(l.delay_ns for l in plan.cut_links)
+        assert plan.lookahead_ns > 0
+
+
+class TestFatTreePartition:
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_full_shard_request_is_balanced(self, k):
+        """K pods onto K shards: one pod per shard, core spread round-robin."""
+        topo = build_fat_tree(k=k)
+        plan = partition_topology(topo, k)
+        assert plan.shards == k
+        assert plan.requested_shards == k
+        _check_plan(topo, plan)
+        sizes = plan.shard_sizes()
+        # Each shard holds one pod (k edge + k agg halves + hosts) plus an
+        # even split of the (k/2)^2 cores: sizes differ by at most one.
+        assert max(sizes) - min(sizes) <= 1
+        # Only agg<->core links are cut on a fat-tree.
+        for link in plan.cut_links:
+            ends = {link.a.node[0], link.b.node[0]}
+            assert ends == {"A", "C"}
+
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_partial_shard_request_loses_nothing(self, k):
+        """Packing K pods onto fewer shards still covers every link."""
+        shards = max(2, k // 2)
+        topo = build_fat_tree(k=k)
+        plan = partition_topology(topo, shards)
+        assert plan.shards == shards
+        _check_plan(topo, plan)
+        # Largest-first greedy packing of equal-sized pods stays balanced
+        # to within one pod-group of nodes.
+        pod_nodes = len(plan.groups[0])
+        sizes = plan.shard_sizes()
+        assert max(sizes) - min(sizes) <= pod_nodes
+
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_lookahead_matches_min_cut_delay(self, k):
+        topo = build_fat_tree(k=k)
+        plan = partition_topology(topo, k)
+        cut_delays = sorted(l.delay_ns for l in plan.cut_links)
+        assert plan.lookahead_ns == cut_delays[0]
+
+    def test_oversized_request_clamps_to_pod_count(self):
+        topo = build_fat_tree(k=4)
+        plan = partition_topology(topo, 64)
+        assert plan.requested_shards == 64
+        assert plan.shards == 4  # one atomic group (pod) per shard at most
+        _check_plan(topo, plan)
+
+    def test_plan_is_deterministic(self):
+        topo = build_fat_tree(k=8)
+        a = partition_topology(topo, 4)
+        b = partition_topology(build_fat_tree(k=8), 4)
+        assert a.assignment == b.assignment
+        assert a.cut_links == b.cut_links
+        assert a.lookahead_ns == b.lookahead_ns
+
+
+class TestOtherTopologies:
+    def test_leaf_spine_groups_by_tor(self):
+        topo = build_leaf_spine(leaves=4, spines=2, hosts_per_leaf=2)
+        plan = partition_topology(topo, 2)
+        assert plan.shards == 2
+        _check_plan(topo, plan)
+
+    def test_ring_partitions_cleanly(self):
+        topo = build_ring(num_switches=4, hosts_per_switch=2)
+        plan = partition_topology(topo, 2)
+        assert plan.shards == 2
+        _check_plan(topo, plan)
+
+    def test_dumbbell_two_shards(self):
+        topo = build_dumbbell(hosts_per_side=3)
+        plan = partition_topology(topo, 2)
+        assert plan.shards == 2
+        _check_plan(topo, plan)
+
+    def test_single_shard_has_no_cut(self):
+        topo = build_fat_tree(k=4)
+        plan = partition_topology(topo, 1)
+        assert plan.shards == 1
+        assert plan.cut_links == ()
+        _check_plan(topo, plan)
+
+    def test_nonpositive_request_rejected(self):
+        with pytest.raises(ValueError):
+            partition_topology(build_fat_tree(k=4), 0)

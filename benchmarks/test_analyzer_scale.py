@@ -1,0 +1,124 @@
+"""Analyzer-stage regression gate: columnar graph build at fleet scale.
+
+The provenance build (Algorithm 1) is the analyzer's dominant cost once
+the simulation itself is sharded away; this gate pins the columnar
+replay kernels (:mod:`repro.core.columnar`) against the retained scalar
+reference path on the K=16 fleet telemetry and writes the
+``fleet_scale.analyzer`` record to ``BENCH_perf.json``.
+
+Timing protocol: the scenario runs once to produce real telemetry, then
+each side rebuilds the victim's provenance graph *cold* — the per-epoch
+``replay_cache`` is cleared before every repetition, because the cache
+is exactly what normally hides the replay cost and would turn the gate
+into a no-op.  Best-of-N on both sides; identity of the two graphs'
+verdict-relevant outputs is asserted alongside speed.
+
+Like every perf gate here the assertion is two-tier: a generous floor
+always, the full >=3x contract under ``REPRO_PERF_STRICT=1``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+from repro.core import columnar
+from repro.core.build import build_provenance
+from repro.core.diagnosis import Diagnoser
+from repro.experiments import (
+    BENCH_PERF_FILENAME,
+    RunConfig,
+    ScenarioSpec,
+    load_bench_json,
+    run_scenario,
+    write_bench_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+FLOOR_BUILD_SPEEDUP = 2.0
+STRICT_BUILD_SPEEDUP = 3.0
+
+pytestmark = pytest.mark.skipif(
+    not columnar.HAVE_NUMPY, reason="columnar gate needs numpy"
+)
+
+
+def _clear_replay_caches(reports):
+    for report in reports.values():
+        for epoch in report.epochs:
+            epoch.replay_cache.clear()
+
+
+def _best_of(n, fn):
+    times = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+@pytest.mark.benchmark(group="analyzer")
+def test_k16_graph_build_columnar_speedup():
+    spec = ScenarioSpec("fleet-incast-k16", seed=1)
+    config = RunConfig()
+    result = run_scenario(spec.build(), config)
+    primary = next(o for o in result.outcomes if o.diagnosis is not None)
+    reports, victim = primary.reports_used, primary.victim
+    scheme = config.scheme()
+    topology = result.scenario.network.topology
+
+    def build():
+        _clear_replay_caches(reports)
+        return build_provenance(
+            reports,
+            topology,
+            window_ns=scheme.window_ns,
+            victim=victim,
+            epoch_size_ns=scheme.epoch_size_ns,
+        )
+
+    columnar_s = _best_of(3, build)
+    fast = build()
+    with columnar.force_scalar():
+        scalar_s = _best_of(2, build)
+        slow = build()
+
+    # Both paths must agree on everything diagnosis consumes: the verdict
+    # strings are the binding contract (floats may differ in the last ulp).
+    diagnoser = Diagnoser()
+    assert (
+        diagnoser.diagnose(fast, victim).describe()
+        == diagnoser.diagnose(slow, victim).describe()
+    ), "columnar graph build changed the diagnosis"
+
+    speedup = scalar_s / columnar_s
+    topo_hosts = len(topology.hosts)
+    record = {
+        "scenario": "fleet-incast-k16",
+        "hosts": topo_hosts,
+        "reports": len(reports),
+        "epochs": sum(len(r.epochs) for r in reports.values()),
+        "scalar_graph_build_s": round(scalar_s, 4),
+        "columnar_graph_build_s": round(columnar_s, 4),
+        "graph_build_speedup": round(speedup, 2),
+        "diagnosis_identical": True,
+    }
+    payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
+    payload.setdefault("fleet_scale", {})["analyzer"] = record
+    write_bench_json(REPO_ROOT / BENCH_PERF_FILENAME, payload)
+    print_table(
+        "Analyzer graph build (K=16 telemetry, cold replay caches)",
+        ("scalar", "columnar", "speedup"),
+        [(f"{scalar_s * 1e3:.1f}ms", f"{columnar_s * 1e3:.1f}ms",
+          f"{speedup:.1f}x")],
+    )
+    floor = STRICT_BUILD_SPEEDUP if STRICT else FLOOR_BUILD_SPEEDUP
+    assert speedup >= floor, (
+        f"columnar graph build speedup {speedup:.2f}x below the {floor}x "
+        f"{'strict ' if STRICT else ''}floor"
+    )

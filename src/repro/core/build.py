@@ -117,6 +117,13 @@ class AnnotatedGraph:
     # points at them, yet no report covers them.  Diagnoses built from this
     # graph are incomplete and must say so.
     missing_switches: set = field(default_factory=set)
+    # Total bytes crossing each egress port (sum over its flow entries),
+    # accumulated once at build time so signature scoring doesn't rescan
+    # flow_port_meta per (flow, port) query.
+    port_bytes: Dict[PortRef, int] = field(default_factory=dict)
+    # Egress ports each flow appears at, in flow_port_meta insertion order
+    # (per-flow inverted index; diagnosis consults it per victim).
+    flow_ports: Dict[FlowKey, list] = field(default_factory=dict)
 
 
 def build_provenance(
@@ -240,6 +247,10 @@ def _build_provenance(
                 byte_count=entry.byte_count,
                 paused_count=entry.paused_count,
             )
+            annotated.port_bytes[ref] = (
+                annotated.port_bytes.get(ref, 0) + entry.byte_count
+            )
+            annotated.flow_ports.setdefault(key, []).append(ref)
             sums = unpaused_depth_sums.setdefault(ref, [0, 0])
             sums[0] += entry.qdepth_sum_pkts - entry.qdepth_paused_sum_pkts
             sums[1] += entry.unpaused_count

@@ -312,9 +312,12 @@ class Diagnoser:
     ) -> None:
         """Victim was never PFC-paused: classic intra-queue contention."""
         graph = annotated.graph
-        victim_ports = [
-            port for (flow, port) in annotated.flow_port_meta if flow == victim
-        ]
+        victim_ports = annotated.flow_ports.get(victim)
+        if victim_ports is None:
+            # Hand-built graph without the inverted index: scan.
+            victim_ports = [
+                port for (flow, port) in annotated.flow_port_meta if flow == victim
+            ]
         # The root-cause port is where the contention pressing on the victim
         # is strongest (sum of positive contributor weights).
         best: Optional[Tuple[PortRef, List[Tuple[FlowKey, float]], float]] = None

@@ -26,14 +26,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.packet import FlowKey
 from ..telemetry.records import FlowEntry
+from . import columnar
 
-try:  # optional acceleration; the pure-Python path below is authoritative
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is present in CI images
-    _np = None
+# Shared numpy handle (None when absent or REPRO_NO_NUMPY is set) — the
+# pure-Python path below is authoritative.
+_np = columnar._np
 
 # Below this sequence length the numpy setup cost outweighs the win.
-_VECTORIZE_MIN_PACKETS = 64
+_VECTORIZE_MIN_PACKETS = columnar.MIN_COLUMNAR_PACKETS
 
 
 def replay_queue(
@@ -88,12 +88,17 @@ def contribution(
             avg_depth = entry.avg_qdepth_pkts()
         depth[entry.key] = int(round(avg_depth))
 
-    sequence = replay_queue(live, window_ns, counts=counts)
     pkt_num = {e.key: counts[e.key] for e in live}
+    total_packets = sum(pkt_num.values())
 
-    if _np is not None and len(sequence) >= _VECTORIZE_MIN_PACKETS:
-        incoming, outgoing = _wait_weights_numpy(live, sequence, depth, pkt_num)
+    if columnar.columnar_enabled(total_packets):
+        # Fully columnar replay: the Python (time, key) sequence is never
+        # materialized; replay order is rebuilt from the count column.
+        incoming, outgoing = columnar.wait_weights_columnar(
+            live, counts, depth, pkt_num, window_ns
+        )
     else:
+        sequence = replay_queue(live, window_ns, counts=counts)
         incoming, outgoing = _wait_weights_python(live, sequence, depth, pkt_num)
 
     result = {key: incoming[key] - outgoing[key] for key in incoming}
@@ -139,40 +144,15 @@ def _wait_weights_numpy(
     depth: Dict[FlowKey, int],
     pkt_num: Dict[FlowKey, int],
 ) -> Tuple[Dict[FlowKey, float], Dict[FlowKey, float]]:
-    """Prefix-count formulation of the sequence walk.
+    """Prefix-count formulation over an explicit replayed sequence.
 
-    With ``prefix[i, g]`` = packets of flow ``g`` among the first ``i``
-    enqueues, the packets of ``g`` ahead of the waiter at position ``idx``
-    (look-back ``d``) are ``prefix[idx, g] - prefix[idx - d, g]``; summing
-    over one flow's packet positions yields its whole wait-count row at
-    once.  Counts are exact integers — only the float normalization order
-    differs from the reference walk.
+    Thin wrapper over :func:`repro.core.columnar.wait_weights_from_ids` for
+    callers that already hold a ``replay_queue`` result; ``contribution``
+    itself uses the fully columnar path that never builds the sequence.
     """
     keys = [e.key for e in live]
     index = {k: i for i, k in enumerate(keys)}
-    n_pkts = len(sequence)
-    n_flows = len(keys)
     seq_ids = _np.fromiter(
-        (index[k] for _, k in sequence), dtype=_np.intp, count=n_pkts
+        (index[k] for _, k in sequence), dtype=_np.int64, count=len(sequence)
     )
-    onehot = _np.zeros((n_pkts, n_flows), dtype=_np.int64)
-    onehot[_np.arange(n_pkts), seq_ids] = 1
-    prefix = _np.zeros((n_pkts + 1, n_flows), dtype=_np.int64)
-    _np.cumsum(onehot, axis=0, out=prefix[1:])
-
-    wait = _np.zeros((n_flows, n_flows), dtype=_np.int64)
-    for f, key in enumerate(keys):
-        d = depth.get(key, 0)
-        if d <= 0:
-            continue
-        positions = _np.flatnonzero(seq_ids == f)
-        starts = positions - _np.minimum(d, positions)
-        wait[f] = prefix[positions].sum(axis=0) - prefix[starts].sum(axis=0)
-
-    per_pkt = _np.array([pkt_num[k] for k in keys], dtype=_np.float64)
-    norm = wait / per_pkt[:, None]
-    outgoing_arr = norm.sum(axis=1)
-    incoming_arr = norm.sum(axis=0)
-    incoming = {k: float(incoming_arr[i]) for i, k in enumerate(keys)}
-    outgoing = {k: float(outgoing_arr[i]) for i, k in enumerate(keys)}
-    return incoming, outgoing
+    return columnar.wait_weights_from_ids(keys, seq_ids, depth, pkt_num)

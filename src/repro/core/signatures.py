@@ -42,11 +42,15 @@ def burst_flow(annotated: AnnotatedGraph, flow: FlowKey, port: PortRef) -> bool:
     meta = annotated.flow_port_meta.get((flow, port))
     if meta is None or meta.byte_count <= 0:
         return False
-    total = sum(
-        m.byte_count
-        for (f, p), m in annotated.flow_port_meta.items()
-        if p == port
-    )
+    total = annotated.port_bytes.get(port)
+    if total is None:
+        # Graph predates the build-time byte column (hand-built in tests):
+        # fall back to the O(flows) scan.
+        total = sum(
+            m.byte_count
+            for (f, p), m in annotated.flow_port_meta.items()
+            if p == port
+        )
     if total <= 0:
         return False
     return meta.byte_count / total >= BURST_TRAFFIC_SHARE

@@ -1,0 +1,167 @@
+"""Process-pool fan-out for the analysis plane.
+
+The sharded simulator (PR 6) left provenance construction as the
+single-process tail at fleet scale: one parent process replays every
+epoch's queues and builds every victim's graph while the shard workers
+sit idle.  This module fans the two independent axes of that work across
+forked workers:
+
+- **victims** — each triggered victim's diagnosis
+  (:func:`repro.experiments.runner._diagnose_one`) is a pure function of
+  the collected telemetry, so concurrent victims (deadlock scenarios
+  complain four at a time) build their graphs in parallel;
+- **epochs** — with a single victim there is no victim-level parallelism,
+  but Algorithm 1's per-epoch replay is memoized on the shared
+  ``EpochData`` objects (:func:`repro.core.build._epoch_contribution`), so
+  the pool pre-warms the replay caches epoch-by-epoch and the serial
+  diagnosis then runs against hot caches.
+
+Workers are always *forked*: the parent installs its live state in a
+module global right before creating the pool, children inherit it by COW,
+and only the picklable results (outcomes / contribution lists) cross back.
+Nothing here changes any result — the caller falls back to the in-process
+loop whenever fork is unavailable or the pool cannot be built, and the
+differential tests pin ``analyzer_jobs=N`` outcomes identical to ``=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..baselines.systems import SystemKind
+from ..core.build import _epoch_contribution
+from ..obs import StageProfile
+from ..sim.packet import FlowKey
+from ..telemetry.snapshot import SwitchReport
+
+# Fewer cold epochs than this and the fork + pickle overhead of the
+# prewarm pool exceeds the replay work it parallelizes.
+MIN_PREWARM_EPOCHS = 4
+
+# Fork-inherited parent state, installed immediately before pool creation
+# and cleared after; workers read it, never mutate it.
+_DIAG_STATE: Optional[tuple] = None
+_WARM_STATE: Optional[tuple] = None
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _diagnose_worker(idx: int) -> Tuple[object, dict]:
+    """Pool entry point: diagnose the idx-th pending victim."""
+    from ..core.diagnosis import Diagnoser
+    from .runner import _diagnose_one
+
+    scenario, config, net, reports_list, traced_of, now_ns, pending = _DIAG_STATE
+    victim, trigger = pending[idx]
+    profile = StageProfile()
+    outcome = _diagnose_one(
+        victim, trigger, config, net, reports_list, traced_of,
+        now_ns, Diagnoser(), profile,
+    )
+    return outcome, profile.to_dict()
+
+
+def _warm_worker(idx: int) -> Tuple[int, list]:
+    """Pool entry point: replay the idx-th cold epoch's queues."""
+    epochs, replay_t, exclude_paused = _WARM_STATE
+    return idx, _epoch_contribution(epochs[idx], replay_t, exclude_paused)
+
+
+def warm_replay_caches(
+    reports_list: Sequence[SwitchReport],
+    replay_t: int,
+    exclude_paused: bool,
+    jobs: int,
+) -> int:
+    """Pre-populate ``EpochData.replay_cache`` across forked workers.
+
+    Returns the number of epochs warmed (0 when the pool was not worth
+    spinning up).  Safe to call with reports other code is about to
+    diagnose from: the installed entries are exactly what
+    ``_epoch_contribution`` would compute in-process.
+    """
+    global _WARM_STATE
+    cache_key = (replay_t, exclude_paused)
+    cold: list = []
+    seen: Set[int] = set()
+    for report in reports_list:
+        for epoch in report.epochs:
+            if id(epoch) in seen:
+                continue
+            seen.add(id(epoch))
+            if cache_key not in epoch.replay_cache:
+                cold.append(epoch)
+    if len(cold) < MIN_PREWARM_EPOCHS or jobs <= 1 or not fork_available():
+        return 0
+    ctx = multiprocessing.get_context("fork")
+    _WARM_STATE = (cold, replay_t, exclude_paused)
+    try:
+        with ctx.Pool(processes=min(jobs, len(cold))) as pool:
+            for idx, items in pool.imap_unordered(_warm_worker, range(len(cold))):
+                cold[idx].replay_cache[cache_key] = items
+    except OSError:
+        return 0
+    finally:
+        _WARM_STATE = None
+    return len(cold)
+
+
+def diagnose_pending_parallel(
+    scenario,
+    config,
+    net,
+    reports_list: List[SwitchReport],
+    traced_of: Optional[Callable[[FlowKey], Set[str]]],
+    now_ns: int,
+    pending: List[tuple],
+    profile: StageProfile,
+    jobs: int,
+) -> Optional[list]:
+    """Diagnose the pending (victim, trigger) pairs across forked workers.
+
+    Returns the outcome list in ``pending`` order, or ``None`` to tell the
+    caller to run its in-process loop (fork unavailable, pool failure, or
+    the single-victim case — which this function first accelerates by
+    pre-warming the per-epoch replay caches).
+    """
+    global _DIAG_STATE
+    if not fork_available():
+        return None
+    if len(pending) <= 1:
+        kind = config.system
+        identity_visibility = (
+            kind not in (SystemKind.PORT_ONLY, SystemKind.FLOW_ONLY)
+            and not kind.pfc_blind
+        )
+        if identity_visibility:
+            # apply_visibility shares the EpochData objects, so warming the
+            # raw reports warms exactly what the diagnosis will replay.
+            scheme = config.scheme()
+            with profile.stage("replay_prewarm"):
+                warm_replay_caches(
+                    reports_list,
+                    scheme.epoch_size_ns,
+                    config.exclude_paused_in_contention,
+                    jobs,
+                )
+        return None
+
+    ctx = multiprocessing.get_context("fork")
+    _DIAG_STATE = (
+        scenario, config, net, reports_list, traced_of, now_ns, pending
+    )
+    try:
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            results = pool.map(_diagnose_worker, range(len(pending)))
+    except OSError:
+        return None
+    finally:
+        _DIAG_STATE = None
+    for _, stages in results:
+        # Summed across workers: total analyzer CPU, same semantics as the
+        # serial loop's accumulation (elapsed time is what benches gate).
+        profile.absorb(stages)
+    return [outcome for outcome, _ in results]

@@ -56,6 +56,11 @@ class PerfStats:
     barrier_epochs: int = 0
     barrier_stall_s: float = 0.0
     aggregate_events_per_sec: float = 0.0
+    # Cross-shard frame transport accounting (sharded runs only): the mode
+    # actually used ("shm" rings or pickled "pipe"), frames carried by each
+    # path, and fallbacks (ring overflow / codec misses).  Empty on
+    # single-process runs.
+    transport: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_run(

@@ -82,6 +82,11 @@ class RunConfig:
     # ``repro.experiments.shardrun``).  ``1`` runs in-process; values above
     # the topology's pod count are clamped by the partitioner.
     shards: int = 1
+    # Fan the analysis plane (per-victim provenance construction, or the
+    # per-epoch replay prewarm when only one victim triggered) across this
+    # many worker processes (see ``repro.experiments.analyzerpool``).
+    # ``1`` keeps diagnosis in-process; outcomes are identical either way.
+    analyzer_jobs: int = 1
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(
@@ -236,73 +241,116 @@ def diagnose_victims(
     diagnosis and qualification — identical inputs produce identical
     outcomes no matter which execution produced the telemetry.
     """
-    kind = config.system
-    scheme = config.scheme()
     if profile is None:
         profile = StageProfile(MetricsRegistry())
     diagnoser = Diagnoser()
-    outcomes: List[VictimOutcome] = []
+
+    pending: List[Tuple] = []  # (victim, trigger) pairs in victim order
+    outcomes_by_victim: Dict[FlowKey, VictimOutcome] = {}
     for victim in scenario.victims:
         trigger = next((t for t in triggers if t.victim == victim.key), None)
         if trigger is None:
-            outcomes.append(VictimOutcome(victim.key, None, None))
-            continue
-        with profile.stage("select_reports"):
-            raw = select_reports(reports_list, trigger.time_ns)
-        if traced_of is not None:
-            # Each diagnosis consumes telemetry only from the switches its
-            # own polling trace covered (concurrent victims of the same
-            # anomaly share reports; unrelated switches are never fetched).
-            traced = traced_of(victim.key)
-            raw = {name: r for name, r in raw.items() if name in traced}
-        if not kind.traces_pfc and not kind.collects_everywhere:
-            # Victim-path-only systems diagnose each complaint from the
-            # telemetry of that victim's own path — the whole point of the
-            # Fig 8 comparison is that this misses part of the PFC loop.
-            src_host = net.topology.host_of_ip(victim.key.src_ip)
-            on_path = set(
-                net.routing.switch_path(src_host, victim.key.dst_ip, victim.key)
-            )
-            raw = {name: r for name, r in raw.items() if name in on_path}
-        reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
-        with profile.stage("graph_build"):
-            annotated = build_provenance(
-                reports,
-                net.topology,
-                window_ns=scheme.window_ns,
-                victim=victim.key,
-                exclude_paused=config.exclude_paused_in_contention,
-                epoch_size_ns=scheme.epoch_size_ns,
-                obs=obs,
-                now_ns=now_ns,
-            )
-        victim_path = net.routing.flow_path(
-            victim.src_host, victim.key.dst_ip, victim.key
-        )[1:]
-        with profile.stage("diagnose"):
-            diagnosis = diagnoser.diagnose(
-                annotated,
-                victim.key,
-                victim_path_ports=victim_path,
-                obs=obs,
-                now_ns=now_ns,
-            )
-        with profile.stage("qualify"):
-            _qualify_diagnosis(diagnosis, net, traced_of, victim, reports)
-        if monitor is not None:
-            # The obs span must be read before on_verdict closes it.
-            span_id = (
-                obs.diagnosis_span_id(victim.key) if obs is not None else None
-            )
-            monitor.timeline.record_diagnosis(
-                diagnosis, trigger.time_ns, now_ns, span_id=span_id
-            )
-        if obs is not None:
-            obs.on_verdict(victim.key, now_ns, diagnosis)
-        outcomes.append(
-            VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
+            outcomes_by_victim[victim.key] = VictimOutcome(victim.key, None, None)
+        else:
+            pending.append((victim, trigger))
+
+    jobs = max(1, config.analyzer_jobs)
+    if jobs > 1 and obs is None and monitor is None and pending:
+        # The analysis fan-out (repro.experiments.analyzerpool): victims
+        # across workers when several triggered, otherwise the per-epoch
+        # replay prewarm.  obs/monitor hooks need the live in-parent
+        # objects, so tracing/monitoring runs pin diagnosis in-process.
+        from . import analyzerpool  # deferred: import cycle
+
+        done = analyzerpool.diagnose_pending_parallel(
+            scenario, config, net, reports_list,
+            traced_of, now_ns, pending, profile, jobs,
         )
-    return outcomes
+        if done is not None:
+            outcomes_by_victim.update((o.victim, o) for o in done)
+            pending = []
+
+    for victim, trigger in pending:
+        outcome = _diagnose_one(
+            victim, trigger, config, net, reports_list, traced_of,
+            now_ns, diagnoser, profile, obs=obs, monitor=monitor,
+        )
+        outcomes_by_victim[outcome.victim] = outcome
+    return [outcomes_by_victim[v.key] for v in scenario.victims]
+
+
+def _diagnose_one(
+    victim,
+    trigger: TriggerEvent,
+    config: RunConfig,
+    net,
+    reports_list: List[SwitchReport],
+    traced_of: Optional[Callable[[FlowKey], Set[str]]],
+    now_ns: int,
+    diagnoser: Diagnoser,
+    profile: StageProfile,
+    obs: Optional[PipelineObs] = None,
+    monitor: Optional[FabricMonitor] = None,
+) -> VictimOutcome:
+    """Diagnose one triggered victim: the per-victim unit of the analyzer.
+
+    Pure function of its telemetry inputs (plus perf side effects on
+    ``profile``), so the analyzer pool can run it in forked workers and get
+    outcomes identical to the in-process loop.
+    """
+    kind = config.system
+    scheme = config.scheme()
+    with profile.stage("select_reports"):
+        raw = select_reports(reports_list, trigger.time_ns)
+    if traced_of is not None:
+        # Each diagnosis consumes telemetry only from the switches its
+        # own polling trace covered (concurrent victims of the same
+        # anomaly share reports; unrelated switches are never fetched).
+        traced = traced_of(victim.key)
+        raw = {name: r for name, r in raw.items() if name in traced}
+    if not kind.traces_pfc and not kind.collects_everywhere:
+        # Victim-path-only systems diagnose each complaint from the
+        # telemetry of that victim's own path — the whole point of the
+        # Fig 8 comparison is that this misses part of the PFC loop.
+        src_host = net.topology.host_of_ip(victim.key.src_ip)
+        on_path = set(
+            net.routing.switch_path(src_host, victim.key.dst_ip, victim.key)
+        )
+        raw = {name: r for name, r in raw.items() if name in on_path}
+    reports = {name: apply_visibility(kind, r) for name, r in raw.items()}
+    with profile.stage("graph_build"):
+        annotated = build_provenance(
+            reports,
+            net.topology,
+            window_ns=scheme.window_ns,
+            victim=victim.key,
+            exclude_paused=config.exclude_paused_in_contention,
+            epoch_size_ns=scheme.epoch_size_ns,
+            obs=obs,
+            now_ns=now_ns,
+        )
+    victim_path = net.routing.flow_path(
+        victim.src_host, victim.key.dst_ip, victim.key
+    )[1:]
+    with profile.stage("diagnose"):
+        diagnosis = diagnoser.diagnose(
+            annotated,
+            victim.key,
+            victim_path_ports=victim_path,
+            obs=obs,
+            now_ns=now_ns,
+        )
+    with profile.stage("qualify"):
+        _qualify_diagnosis(diagnosis, net, traced_of, victim, reports)
+    if monitor is not None:
+        # The obs span must be read before on_verdict closes it.
+        span_id = obs.diagnosis_span_id(victim.key) if obs is not None else None
+        monitor.timeline.record_diagnosis(
+            diagnosis, trigger.time_ns, now_ns, span_id=span_id
+        )
+    if obs is not None:
+        obs.on_verdict(victim.key, now_ns, diagnosis)
+    return VictimOutcome(victim.key, trigger, diagnosis, annotated, reports)
 
 
 def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:

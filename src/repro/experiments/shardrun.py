@@ -10,13 +10,21 @@ conservative-lookahead barrier:
   polling engine, detection agent);
 - frames addressed to a remote node are flattened into the shard's
   outbox (:class:`repro.sim.network.Network`) instead of its event loop;
-- at each barrier the orchestrator gathers outboxes, routes every frame
-  to its target shard, and grants a new epoch horizon
+- at each barrier the orchestrator grants a new epoch horizon
   ``T' = min(duration, m + L - 1)`` where ``m`` is the earliest pending
   work anywhere (local events or in-flight frames) and ``L`` is the
   minimum cut-link latency.  No frame sent inside an epoch can arrive
   within it (delivery delay >= link latency + serialization), so workers
   never see a remote frame late.
+
+Cross-shard frames travel over one of two transports
+(``REPRO_SHARD_TRANSPORT`` selects: ``auto``/``pipe``/``shm``): large
+per-destination batches ride fixed-width int64 rows in parity-split
+``multiprocessing.shared_memory`` rings (:mod:`repro.experiments
+.shmring`) with only row *counts* crossing the barrier pipes, while
+small batches, codec misses and ring overflows ride the pickled pipe
+path unchanged.  Each worker routes its own outbox by the shard plan;
+the orchestrator just relays counts and leftovers.
 
 Determinism: deliveries are ordered by the engine's canonical
 ``(send time, trigger schedule time, source, per-source seq)`` key in a
@@ -39,6 +47,8 @@ not ship.
 
 from __future__ import annotations
 
+import gc
+import os
 import time
 from dataclasses import asdict
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -50,7 +60,15 @@ from ..baselines.systems import (
 from ..collection.agent import AgentConfig, DetectionAgent
 from ..collection.collector import TelemetryCollector
 from ..collection.polling import PollingConfig, PollingEngine
-from ..obs import Event, MetricsRegistry, PipelineObs, Span, StageProfile, Tracer
+from ..obs import (
+    Event,
+    MetricsRegistry,
+    PipelineObs,
+    Span,
+    StageProfile,
+    Tracer,
+    merge_stage_dicts,
+)
 from ..obs.trace import NullSink
 from ..sim.packet import POLLING_PACKET_SIZE, FlowKey
 from ..sim.shard import shard_build_context
@@ -58,6 +76,7 @@ from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
 from ..telemetry.snapshot import SwitchReport
 from ..topology.partition import ShardPlan, partition_topology
 from .perfstats import PerfStats, diff_cache_counters, global_cache_counters
+from .shmring import SHM_MIN_FRAMES, ShmFrameTransport, build_transport
 from .runner import (
     RunConfig,
     RunResult,
@@ -141,9 +160,23 @@ def _unsupported(config: RunConfig) -> Optional[str]:
 
 
 def _shard_worker_main(
-    conn, spec: ScenarioSpec, config: RunConfig, plan: ShardPlan, shard_id: int
+    conn,
+    spec: ScenarioSpec,
+    config: RunConfig,
+    plan: ShardPlan,
+    shard_id: int,
+    transport: Optional[ShmFrameTransport],
+    transport_mode: str,
 ) -> None:
-    """One shard's process: build the shard view, obey epoch barriers."""
+    """One shard's process: build the shard view, obey epoch barriers.
+
+    ``transport`` is the parent-created shared-memory ring set, inherited
+    through fork (never pickled); ``transport_mode`` is the effective
+    mode — ``"shm"`` forces every routable batch onto the rings,
+    ``"auto"`` applies the :data:`~repro.experiments.shmring
+    .SHM_MIN_FRAMES` threshold per batch, ``"pipe"`` (or a ``None``
+    transport) keeps the legacy pickled path.
+    """
     try:
         with shard_build_context(plan.assignment, shard_id):
             scenario = spec.build()
@@ -175,24 +208,85 @@ def _shard_worker_main(
             obs=obs,
         )
 
+        duration = scenario.duration_ns
+        node_shard = plan.assignment
+        profile = StageProfile()
+        # Construction allocated the long-lived object graph; what follows
+        # is steady-state churn that reference counting alone reclaims, so
+        # cycle-collector sweeps are pure overhead on the busy path.
+        gc.collect()
+        gc.disable()
+
         busy_s = 0.0
         while True:
             msg = conn.recv()
             op = msg[0]
             if op == "epoch":
-                until, frames = msg[1], msg[2]
+                epoch_no, until, frames, shm_counts = msg[1:5]
+                if shm_counts:
+                    with profile.stage("shard_transport"):
+                        for src, count in shm_counts.items():
+                            frames.extend(
+                                transport.read_epoch(
+                                    src, shard_id, epoch_no - 1, count
+                                )
+                            )
                 # CPU time, not wall time: on a machine with fewer cores
                 # than shards the workers time-share, and wall time would
                 # charge each shard for its siblings' slices.  With one
                 # core per shard the two are equal.
                 t0 = time.process_time()
-                for frame in frames:
-                    net.deliver_from_wire(frame)
-                net.run(until)
+                with profile.stage("shard_run"):
+                    net.deliver_wire_batch(frames)
+                    net.run(until)
                 busy_s += time.process_time() - t0
                 outbox = net.outbox
                 net.outbox = []
-                conn.send(("done", outbox, net.sim.peek_next_time()))
+                # Route the outbox here (not in the parent): per-dest
+                # batches go to the rings when eligible, the rest rides
+                # the pipe.  ``out_min`` covers *every* frame — arrivals
+                # past the horizon still bound the next epoch grant.
+                out_min: Optional[int] = None
+                shm_counts_out: Dict[int, int] = {}
+                pipe_out: Dict[int, List[tuple]] = {}
+                overflow = 0
+                if outbox:
+                    with profile.stage("shard_transport"):
+                        by_dest: Dict[int, List[tuple]] = {}
+                        for frame in outbox:
+                            arrival = frame[0]
+                            if out_min is None or arrival < out_min:
+                                out_min = arrival
+                            if arrival <= duration:
+                                by_dest.setdefault(
+                                    node_shard[frame[1]], []
+                                ).append(frame)
+                        for dest, dest_frames in by_dest.items():
+                            use_shm = transport is not None and (
+                                transport_mode == "shm"
+                                or len(dest_frames) >= SHM_MIN_FRAMES
+                            )
+                            if use_shm:
+                                written, leftover = transport.write_epoch(
+                                    shard_id, dest, epoch_no, dest_frames
+                                )
+                                if written:
+                                    shm_counts_out[dest] = written
+                                if leftover:
+                                    overflow += len(leftover)
+                                    pipe_out[dest] = leftover
+                            else:
+                                pipe_out[dest] = dest_frames
+                conn.send(
+                    (
+                        "done",
+                        shm_counts_out,
+                        pipe_out,
+                        overflow,
+                        net.sim.peek_next_time(),
+                        out_min,
+                    )
+                )
             elif op == "finish":
                 collector.flush_pending(net.sim.now)
                 conn.send(
@@ -200,7 +294,7 @@ def _shard_worker_main(
                         "final",
                         _final_blob(
                             net, collector, engine, agent, deployment, obs,
-                            metrics, busy_s,
+                            metrics, busy_s, profile,
                         ),
                     )
                 )
@@ -218,7 +312,7 @@ def _shard_worker_main(
 
 
 def _final_blob(
-    net, collector, engine, agent, deployment, obs, metrics, busy_s
+    net, collector, engine, agent, deployment, obs, metrics, busy_s, profile
 ) -> Dict[str, Any]:
     """Everything the parent needs to merge one shard's finished state."""
     blob: Dict[str, Any] = {
@@ -251,6 +345,7 @@ def _final_blob(
             name: counter.value for name, counter in metrics._counters.items()
         },
         "busy_s": busy_s,
+        "stages": profile.to_dict(),
         "trigger_count": len(agent.triggers),
     }
     if obs is not None:
@@ -412,16 +507,27 @@ def run_scenario_sharded(
         obs = PipelineObs(Tracer(config.obs.build_sink()), metrics)
         obs.begin_scenario(scenario.name, start_ns=0, system=kind.value)
 
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-    )
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if fork_available else None)
+
+    # Shared-memory rings must exist before forking (workers inherit the
+    # mapping; under spawn the transport object cannot cross at all, so
+    # non-fork platforms stay on the pipe path).
+    requested_mode = os.environ.get("REPRO_SHARD_TRANSPORT", "auto")
+    if requested_mode not in ("auto", "pipe", "shm"):
+        requested_mode = "auto"
+    transport: Optional[ShmFrameTransport] = None
+    if requested_mode != "pipe" and fork_available:
+        transport = build_transport(plan.shards, net.topology)
+    transport_mode = requested_mode if transport is not None else "pipe"
+
     conns = []
     procs = []
     for shard_id in range(plan.shards):
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, spec, config, plan, shard_id),
+            args=(child_conn, spec, config, plan, shard_id, transport, transport_mode),
             daemon=True,
         )
         proc.start()
@@ -431,10 +537,13 @@ def run_scenario_sharded(
 
     duration = scenario.duration_ns
     lookahead = max(plan.lookahead_ns, 1)
-    node_shard = plan.assignment
     frames_for: List[List[tuple]] = [[] for _ in range(plan.shards)]
+    shm_counts_for: List[Dict[int, int]] = [{} for _ in range(plan.shards)]
     barrier_epochs = 0
     max_busy_s = 0.0
+    shm_frames = 0
+    pipe_frames = 0
+    shm_fallback = 0
 
     def _recv(shard_id: int):
         msg = conns[shard_id].recv()
@@ -448,21 +557,38 @@ def run_scenario_sharded(
         with profile.stage("simulate"):
             until = 0
             while True:
+                epoch_no = barrier_epochs
                 barrier_epochs += 1
                 for shard_id, conn in enumerate(conns):
-                    conn.send(("epoch", until, frames_for[shard_id]))
+                    conn.send(
+                        (
+                            "epoch",
+                            epoch_no,
+                            until,
+                            frames_for[shard_id],
+                            shm_counts_for[shard_id],
+                        )
+                    )
                     frames_for[shard_id] = []
+                    shm_counts_for[shard_id] = {}
                 earliest: Optional[int] = None
                 for shard_id in range(plan.shards):
-                    _, outbox, peek = _recv(shard_id)
+                    _, counts_out, pipe_out, overflow, peek, out_min = _recv(
+                        shard_id
+                    )
                     if peek is not None and (earliest is None or peek < earliest):
                         earliest = peek
-                    for frame in outbox:
-                        arrival = frame[0]
-                        if arrival <= duration:
-                            frames_for[node_shard[frame[1]]].append(frame)
-                        if earliest is None or arrival < earliest:
-                            earliest = arrival
+                    if out_min is not None and (
+                        earliest is None or out_min < earliest
+                    ):
+                        earliest = out_min
+                    for dest, count in counts_out.items():
+                        shm_counts_for[dest][shard_id] = count
+                        shm_frames += count
+                    for dest, dest_frames in pipe_out.items():
+                        frames_for[dest].extend(dest_frames)
+                        pipe_frames += len(dest_frames)
+                    shm_fallback += overflow
                 if until >= duration:
                     break
                 if earliest is None:
@@ -481,6 +607,8 @@ def run_scenario_sharded(
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - hung worker backstop
                 proc.terminate()
+        if transport is not None:
+            transport.destroy()
 
     # -- merge ---------------------------------------------------------------
     reports: List[SwitchReport] = []
@@ -563,7 +691,15 @@ def run_scenario_sharded(
     busy = [blob["busy_s"] for blob in blobs]
     max_busy_s = max(busy) if busy else 0.0
     wall_s = time.perf_counter() - wall_start
-    sim_wall_s = profile.to_dict().get("simulate", {}).get("wall_s", wall_s)
+    # Parent stages (simulate, flush_pending, analyzer stages) carry
+    # wall_s/calls; worker stages (shard_run, shard_transport) are merged
+    # across shards into summed wall_s plus max_wall_s — the slowest
+    # shard, i.e. the stage's critical-path contribution.
+    stages = {
+        **profile.to_dict(),
+        **merge_stage_dicts([blob.get("stages", {}) for blob in blobs]),
+    }
+    sim_wall_s = stages.get("simulate", {}).get("wall_s", wall_s)
     perf = PerfStats(
         scenario=scenario.name,
         wall_s=wall_s,
@@ -575,13 +711,21 @@ def run_scenario_sharded(
         events_purged=sim_counters.get("events_purged", 0),
         compactions=sim_counters.get("compactions", 0),
         caches=cache_stats,
-        stages=profile.to_dict(),
+        stages=stages,
         shards=plan.shards,
         barrier_epochs=barrier_epochs,
         barrier_stall_s=max(sim_wall_s - max_busy_s, 0.0),
         aggregate_events_per_sec=(
             events_run / max_busy_s if max_busy_s > 0 else 0.0
         ),
+        transport={
+            "mode": transport_mode,
+            "requested": requested_mode,
+            "capacity": transport.capacity if transport is not None else 0,
+            "shm_frames": shm_frames,
+            "pipe_frames": pipe_frames,
+            "shm_fallback_frames": shm_fallback,
+        },
     )
 
     metrics.absorb_counters("sim", sim_counters)

@@ -1,0 +1,216 @@
+"""Shared-memory frame rings for the sharded simulator's barrier transport.
+
+The PR 6 barrier ships every cross-shard frame through a pickled
+``multiprocessing`` pipe: each WireFrame (a nest of tuples holding node
+names, IPs and packet fields) is pickled by the worker, copied through
+the kernel twice, and unpickled by its peer — per frame, per epoch.
+Frames are fixed-width records over a small closed vocabulary (the
+topology's node names and host IPs, the packet-type enum), so the
+exchange maps naturally onto flat int64 rows in one
+``multiprocessing.shared_memory`` segment instead.
+
+Layout: one *ring* per directed shard pair, each ring split into two
+halves selected by barrier-epoch parity.  Shard ``i`` writes its epoch-e
+frames for shard ``j`` into half ``e % 2`` of ring ``(i, j)`` while ``j``
+is still reading ``i``'s epoch-(e-1) frames from the other half — the
+lockstep barrier guarantees nobody is two epochs ahead, so the parity
+split makes the rings race-free without locks.  Row counts travel in the
+(tiny) barrier pipe messages; the rows themselves never touch a pipe.
+
+Encoding is intentionally numpy-free (``array('q')`` + ``memoryview
+.cast('q')``) so the scalar-fallback CI leg exercises the same code.
+Frames the codec cannot represent (an interned id missing, a field
+outside int64) fall back to the pipe per-frame; delivery order is
+unaffected either way because the receiving engine orders deliveries by
+the canonical ``(send_time, exec_sched, src, seq)`` key, not by
+transport arrival order.
+
+Lifecycle: the parent creates the segment *before* forking workers, so
+only the parent ever registers it with the resource tracker; workers
+inherit the mapping and the parent alone closes + unlinks it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.packet import PacketType
+
+# Words per encoded frame: 7 header words (arrival, target node, target
+# port, 4-field delivery key) + 20 wire words (packet fields, flow 5-tuple
+# with presence flag).
+ROW_WORDS = 27
+
+# Rows per ring half.  A ring overflow is not an error — excess frames
+# ride the pipe — but it forfeits the fast path, so size for the largest
+# observed per-(pair, epoch) burst with ample headroom.
+DEFAULT_CAPACITY = 1024
+
+# In "auto" mode batches smaller than this stay on the pipe: below it the
+# per-batch bookkeeping costs more than pickling a handful of frames.
+SHM_MIN_FRAMES = 8
+
+class ShmFrameTransport:
+    """One shared segment holding the parity-split frame rings.
+
+    Create in the parent before forking; workers use the inherited object
+    directly (`write_epoch` / `read_epoch`).  Only the parent may call
+    :meth:`destroy`.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        node_names: Iterable[str],
+        ips: Iterable[str],
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.shards = shards
+        self.capacity = capacity
+        self._node_list = list(dict.fromkeys(node_names))
+        self._ip_list = list(dict.fromkeys(ips))
+        self._ptype_list = [p.value for p in PacketType]
+        self._node_id = {name: i for i, name in enumerate(self._node_list)}
+        self._ip_id = {ip: i for i, ip in enumerate(self._ip_list)}
+        self._ptype_id = {v: i for i, v in enumerate(self._ptype_list)}
+        # ring (src, dst) -> word offset of half 0; half 1 follows it.
+        self._half_words = capacity * ROW_WORDS
+        total_words = shards * shards * 2 * self._half_words
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(total_words, 1) * 8
+        )
+        self._words = memoryview(self._shm.buf).cast("q")
+
+    # -- geometry -----------------------------------------------------------------
+
+    def _base(self, src: int, dst: int, epoch_no: int) -> int:
+        ring = (src * self.shards + dst) * 2 + (epoch_no % 2)
+        return ring * self._half_words
+
+    # -- codec --------------------------------------------------------------------
+
+    def encode(self, frame: tuple) -> Optional[array]:
+        """27 int64 words for one WireFrame, or None if unrepresentable."""
+        arrival, node, port, key, wire = frame
+        send_time, exec_sched, src, seq = key
+        (
+            ptype, flow5, size, priority, pseq, create_time, ecn, ce,
+            pfc_priority, pause_quanta, polling, echo_time, acked_bytes,
+            is_last, hops,
+        ) = wire
+        node_id = self._node_id.get(node)
+        src_id = self._node_id.get(src)
+        ptype_id = self._ptype_id.get(ptype)
+        if node_id is None or src_id is None or ptype_id is None:
+            return None
+        if flow5 is None:
+            has_flow = fsrc = fdst = fsport = fdport = fproto = 0
+        else:
+            has_flow = 1
+            fsrc = self._ip_id.get(flow5[0])
+            fdst = self._ip_id.get(flow5[1])
+            if fsrc is None or fdst is None:
+                return None
+            fsport, fdport, fproto = flow5[2], flow5[3], flow5[4]
+        words = (
+            arrival, node_id, port,
+            send_time, exec_sched, src_id, seq,
+            ptype_id, has_flow, fsrc, fdst, fsport, fdport, fproto,
+            size, priority, pseq, create_time, int(ecn), int(ce),
+            pfc_priority, pause_quanta, int(polling), echo_time,
+            acked_bytes, int(is_last), hops,
+        )
+        try:
+            return array("q", words)
+        except (OverflowError, TypeError):
+            return None
+
+    def decode_row(self, words) -> tuple:
+        """The WireFrame a row was encoded from (tuple-equal round trip)."""
+        (
+            arrival, node_id, port,
+            send_time, exec_sched, src_id, seq,
+            ptype_id, has_flow, fsrc, fdst, fsport, fdport, fproto,
+            size, priority, pseq, create_time, ecn, ce,
+            pfc_priority, pause_quanta, polling, echo_time,
+            acked_bytes, is_last, hops,
+        ) = words
+        flow5 = (
+            (self._ip_list[fsrc], self._ip_list[fdst], fsport, fdport, fproto)
+            if has_flow
+            else None
+        )
+        wire = (
+            self._ptype_list[ptype_id], flow5, size, priority, pseq,
+            create_time, bool(ecn), bool(ce), pfc_priority, pause_quanta,
+            polling, echo_time, acked_bytes, bool(is_last), hops,
+        )
+        key = (send_time, exec_sched, self._node_list[src_id], seq)
+        return (arrival, self._node_list[node_id], port, key, wire)
+
+    # -- per-epoch exchange -------------------------------------------------------
+
+    def write_epoch(
+        self, src: int, dst: int, epoch_no: int, frames: List[tuple]
+    ) -> Tuple[int, List[tuple]]:
+        """Write one epoch's frames into ring ``(src, dst)``.
+
+        Returns ``(rows written, frames that must ride the pipe)`` — the
+        leftovers are codec misses plus anything past ring capacity.
+        """
+        base = self._base(src, dst, epoch_no)
+        words = self._words
+        written = 0
+        leftover: List[tuple] = []
+        for frame in frames:
+            if written >= self.capacity:
+                leftover.append(frame)
+                continue
+            row = self.encode(frame)
+            if row is None:
+                leftover.append(frame)
+                continue
+            offset = base + written * ROW_WORDS
+            words[offset : offset + ROW_WORDS] = row
+            written += 1
+        return written, leftover
+
+    def read_epoch(self, src: int, dst: int, epoch_no: int, count: int) -> List[tuple]:
+        """Decode ``count`` rows shard ``src`` wrote for ``dst`` at ``epoch_no``."""
+        base = self._base(src, dst, epoch_no)
+        words = self._words
+        decode = self.decode_row
+        frames: List[tuple] = []
+        for i in range(count):
+            offset = base + i * ROW_WORDS
+            frames.append(decode(words[offset : offset + ROW_WORDS].tolist()))
+        return frames
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close_local(self) -> None:
+        """Drop this process's mapping (parent only; workers just exit)."""
+        self._words.release()
+        self._shm.close()
+
+    def destroy(self) -> None:
+        """Parent-only: unmap and remove the segment."""
+        self.close_local()
+        self._shm.unlink()
+
+
+def build_transport(
+    shards: int, topology, capacity: int = DEFAULT_CAPACITY
+) -> Optional[ShmFrameTransport]:
+    """A transport sized for ``topology``, or None if shm is unavailable."""
+    try:
+        return ShmFrameTransport(
+            shards,
+            node_names=(n.name for n in topology.nodes),
+            ips=(topology.host_ip(h.name) for h in topology.hosts),
+            capacity=capacity,
+        )
+    except (OSError, ValueError):
+        return None

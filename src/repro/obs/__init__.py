@@ -17,7 +17,7 @@ Three planes, one package:
 from .canon import canonical_jsonl, canonicalize
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .pipeline import ObsConfig, PipelineObs, build_pipeline_obs
-from .profile import StageProfile
+from .profile import StageProfile, merge_stage_dicts
 from .simtrace import SimTraceObserver
 from .trace import (
     NULL_SPAN,
@@ -63,6 +63,7 @@ __all__ = [
     "Span",
     "SpanNode",
     "StageProfile",
+    "merge_stage_dicts",
     "Tracer",
     "build_pipeline_obs",
     "build_tree",

@@ -51,3 +51,35 @@ class StageProfile:
             name: {"wall_s": self._wall[name], "calls": self._calls[name]}
             for name in sorted(self._wall)
         }
+
+    def absorb(self, stages: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another profile's ``to_dict`` payload into this one."""
+        for name, entry in stages.items():
+            self.add(name, entry.get("wall_s", 0.0), entry.get("calls", 1))
+
+
+def merge_stage_dicts(
+    stage_dicts: "list[Dict[str, Dict[str, Any]]]",
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-worker ``StageProfile.to_dict`` payloads.
+
+    Parallel workers run stages concurrently, so the *sum* of their wall
+    clocks overstates elapsed time by up to the worker count.  The merged
+    entry therefore carries both: ``wall_s``/``calls`` summed (total CPU
+    spent in the stage) and ``max_wall_s`` (the slowest single worker — the
+    stage's contribution to the critical path).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for stages in stage_dicts:
+        for name, entry in stages.items():
+            slot = merged.setdefault(
+                name, {"wall_s": 0.0, "calls": 0, "max_wall_s": 0.0}
+            )
+            wall = entry.get("wall_s", 0.0)
+            slot["wall_s"] += wall
+            slot["calls"] += entry.get("calls", 1)
+            # Honor an upstream max (already-merged payloads) over the sum.
+            slot["max_wall_s"] = max(
+                slot["max_wall_s"], entry.get("max_wall_s", wall)
+            )
+    return {name: merged[name] for name in sorted(merged)}

@@ -120,6 +120,21 @@ class Network:
             arrival_ns, key, self._receive_of[node], packet_from_wire(wire), port
         )
 
+    def deliver_wire_batch(self, frames: List[tuple]) -> None:
+        """Queue a barrier epoch's worth of cross-shard frames.
+
+        Same per-frame semantics as :meth:`deliver_from_wire` with the
+        import and attribute lookups hoisted out of the loop — the barrier
+        hot path at fleet scale.  Insertion order is irrelevant: the
+        delivery band sorts by the canonical key.
+        """
+        from .shard import packet_from_wire
+
+        schedule = self.sim.schedule_delivery
+        receive_of = self._receive_of
+        for arrival_ns, node, port, key, wire in frames:
+            schedule(arrival_ns, key, receive_of[node], packet_from_wire(wire), port)
+
     def start_flow(self, flow: Flow) -> None:
         host = self.hosts[flow.src_host]
         if isinstance(host, RemoteHostStub):

@@ -28,12 +28,16 @@ is False and the telemetry plane keeps using its pure-Python loop.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, List
 
-try:  # pragma: no cover - exercised implicitly by every flush
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy-less fallback environment
+if os.environ.get("REPRO_NO_NUMPY"):  # CI scalar-fallback leg
     _np = None
+else:
+    try:  # pragma: no cover - exercised implicitly by every flush
+        import numpy as _np
+    except ImportError:  # pragma: no cover - numpy-less fallback environment
+        _np = None
 
 if TYPE_CHECKING:  # pragma: no cover
     from .hawkeye import HawkeyeSwitchTelemetry, _EpochBank

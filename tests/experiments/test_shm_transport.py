@@ -1,0 +1,229 @@
+"""Shared-memory shard transport: codec properties and byte-identity.
+
+The shm rings replace pickled pipes as the cross-shard frame carrier, so
+the bar is the same as for sharding itself: *byte-identical* output.
+Frames must survive the int64 codec tuple-equal (hypothesis, across the
+full field space), and for every anomaly class a 2-shard run forced onto
+the rings must produce the same diagnoses and the same canonical obs
+trace as the pipe path — including when a deliberately tiny ring forces
+the overflow fallback mid-run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    RunConfig,
+    ScenarioSpec,
+    run_scenario_sharded,
+)
+from repro.experiments import shardrun
+from repro.experiments.shmring import (
+    ROW_WORDS,
+    ShmFrameTransport,
+    build_transport,
+)
+from repro.obs import ObsConfig, canonical_jsonl
+from repro.sim.packet import PacketType
+
+ANOMALY_SCENARIOS = [
+    "in-loop-deadlock",
+    "out-of-loop-deadlock",
+    "pfc-storm",
+    "incast-backpressure",
+    "lordma-attack",
+    "normal-contention",
+]
+
+NODES = ["SW0", "SW1", "H0", "H1", "H2"]
+IPS = ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+
+
+@pytest.fixture
+def transport():
+    t = ShmFrameTransport(2, NODES, IPS, capacity=64)
+    yield t
+    t.destroy()
+
+
+def _frames_strategy():
+    small = st.integers(min_value=0, max_value=2**31)
+    flow5 = st.one_of(
+        st.none(),
+        st.tuples(
+            st.sampled_from(IPS),
+            st.sampled_from(IPS),
+            st.integers(min_value=0, max_value=65535),
+            st.integers(min_value=0, max_value=65535),
+            st.integers(min_value=0, max_value=255),
+        ),
+    )
+    wire = st.tuples(
+        st.sampled_from([p.value for p in PacketType]),
+        flow5,
+        small,  # size
+        st.integers(min_value=0, max_value=7),  # priority
+        small,  # seq
+        small,  # create_time
+        st.booleans(),  # ecn_capable
+        st.booleans(),  # ce_marked
+        st.integers(min_value=0, max_value=7),  # pfc_priority
+        st.integers(min_value=0, max_value=65535),  # pause_quanta
+        st.integers(min_value=0, max_value=3),  # polling flag (int on wire)
+        small,  # echo_time
+        small,  # acked_bytes
+        st.booleans(),  # is_last
+        st.integers(min_value=0, max_value=64),  # hops
+    )
+    frame = st.tuples(
+        small,  # arrival_ns
+        st.sampled_from(NODES),  # target node
+        st.integers(min_value=0, max_value=64),  # target port
+        st.tuples(small, small, st.sampled_from(NODES), small),  # key
+        wire,
+    )
+    return st.lists(frame, min_size=0, max_size=32)
+
+
+class TestCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(frames=_frames_strategy())
+    def test_round_trip_is_tuple_equal(self, frames):
+        """Any representable frame batch survives the rings unchanged."""
+        t = ShmFrameTransport(2, NODES, IPS, capacity=64)
+        try:
+            written, leftover = t.write_epoch(0, 1, 0, frames)
+            assert written == len(frames) and not leftover
+            assert t.read_epoch(0, 1, 0, written) == frames
+        finally:
+            t.destroy()
+
+    def test_row_width_matches_codec(self, transport):
+        frame = (
+            5, "SW0", 2, (1, 2, "H0", 3),
+            (PacketType.DATA.value, None, 1000, 3, 7, 4,
+             True, False, 0, 0, 0, 0, 0, False, 2),
+        )
+        assert len(transport.encode(frame)) == ROW_WORDS
+
+    def test_unknown_vocabulary_misses_to_pipe(self, transport):
+        stranger = (
+            5, "NOT-A-NODE", 2, (1, 2, "H0", 3),
+            (PacketType.DATA.value, None, 1000, 3, 7, 4,
+             True, False, 0, 0, 0, 0, 0, False, 2),
+        )
+        written, leftover = transport.write_epoch(0, 1, 0, [stranger])
+        assert written == 0 and leftover == [stranger]
+
+    def test_oversize_field_misses_to_pipe(self, transport):
+        huge = (
+            2**70, "SW0", 2, (1, 2, "H0", 3),
+            (PacketType.DATA.value, None, 1000, 3, 7, 4,
+             True, False, 0, 0, 0, 0, 0, False, 2),
+        )
+        written, leftover = transport.write_epoch(0, 1, 0, [huge])
+        assert written == 0 and leftover == [huge]
+
+    def test_capacity_overflow_spills_in_order(self):
+        t = ShmFrameTransport(2, NODES, IPS, capacity=2)
+        try:
+            frames = [
+                (i, "SW0", 0, (i, 0, "H0", i),
+                 (PacketType.DATA.value, None, 1, 0, i, 0,
+                  False, False, 0, 0, 0, 0, 0, False, 0))
+                for i in range(5)
+            ]
+            written, leftover = t.write_epoch(0, 1, 0, frames)
+            assert written == 2
+            assert leftover == frames[2:]
+            assert t.read_epoch(0, 1, 0, written) == frames[:2]
+        finally:
+            t.destroy()
+
+    def test_epoch_parity_halves_are_independent(self, transport):
+        def frame(i):
+            return (
+                i, "SW1", 1, (i, 0, "H1", i),
+                (PacketType.ACK.value, None, 64, 0, i, 0,
+                 False, False, 0, 0, 0, 0, 0, True, 1),
+            )
+
+        even = [frame(1), frame(2)]
+        odd = [frame(10)]
+        transport.write_epoch(1, 0, 4, even)
+        transport.write_epoch(1, 0, 5, odd)  # other half: must not clobber
+        assert transport.read_epoch(1, 0, 4, 2) == even
+        assert transport.read_epoch(1, 0, 5, 1) == odd
+
+    def test_build_transport_interns_topology_vocabulary(self):
+        from repro.topology.builders import build_fat_tree
+
+        topo = build_fat_tree(4)
+        t = build_transport(2, topo)
+        assert t is not None
+        try:
+            assert set(n.name for n in topo.nodes) <= set(t._node_id)
+            assert all(
+                topo.host_ip(h.name) in t._ip_id for h in topo.hosts
+            )
+        finally:
+            t.destroy()
+
+
+def _run_sharded(monkeypatch, name, mode):
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", mode)
+    spec = ScenarioSpec(name, seed=1)
+    obs = ObsConfig(trace=True, sink="ring")
+    result = run_scenario_sharded(spec, RunConfig(obs=obs, shards=2))
+    diagnoses = [
+        o.diagnosis.describe() if o.diagnosis is not None else None
+        for o in result.outcomes
+    ]
+    return diagnoses, canonical_jsonl(result.obs.tracer.records()), result.perf
+
+
+@pytest.mark.parametrize("name", ANOMALY_SCENARIOS)
+def test_shm_transport_is_byte_identical(monkeypatch, name):
+    """Forced rings == pipes: same diagnoses, same canonical trace."""
+    pipe_diag, pipe_trace, pipe_perf = _run_sharded(monkeypatch, name, "pipe")
+    shm_diag, shm_trace, shm_perf = _run_sharded(monkeypatch, name, "shm")
+
+    assert shm_diag == pipe_diag
+    assert shm_trace == pipe_trace
+    # Forced mode must actually exercise the rings, and the counters must
+    # account for every cross-shard frame on exactly one path.
+    assert shm_perf.transport["mode"] == "shm"
+    assert shm_perf.transport["shm_frames"] > 0
+    assert shm_perf.transport["pipe_frames"] == 0
+    assert pipe_perf.transport["mode"] == "pipe"
+    assert pipe_perf.transport["shm_frames"] == 0
+    assert (
+        shm_perf.transport["shm_frames"] == pipe_perf.transport["pipe_frames"]
+    )
+
+
+def test_overflow_fallback_stays_byte_identical(monkeypatch):
+    """A tiny ring forces mid-run pipe spills without changing output."""
+    pipe_diag, pipe_trace, _ = _run_sharded(monkeypatch, "pfc-storm", "pipe")
+    monkeypatch.setattr(
+        shardrun,
+        "build_transport",
+        lambda shards, topo: build_transport(shards, topo, capacity=4),
+    )
+    shm_diag, shm_trace, perf = _run_sharded(monkeypatch, "pfc-storm", "shm")
+
+    assert shm_diag == pipe_diag
+    assert shm_trace == pipe_trace
+    assert perf.transport["shm_fallback_frames"] > 0
+    assert perf.transport["shm_frames"] > 0
+    assert perf.transport["pipe_frames"] == perf.transport["shm_fallback_frames"]
+
+
+def test_auto_mode_reports_stage_and_counters(monkeypatch):
+    """auto splits traffic by batch size and ships worker stage timings."""
+    _, _, perf = _run_sharded(monkeypatch, "incast-backpressure", "auto")
+    carried = perf.transport["shm_frames"] + perf.transport["pipe_frames"]
+    assert carried > 0
+    assert "shard_run" in perf.stages
+    assert perf.stages["shard_run"]["max_wall_s"] <= perf.stages["shard_run"]["wall_s"]

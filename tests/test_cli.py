@@ -150,3 +150,42 @@ class TestShards:
         assert rc == 0
         assert "shards   : 2 worker processes" in captured.out
         assert "CORRECT" in captured.out
+
+
+class TestAnalyzerJobs:
+    """``--analyzer-jobs`` validation mirrors ``--shards``: reject
+    non-positive values, clamp oversubscription to the CPU count."""
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_non_positive_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "pfc-storm", "--analyzer-jobs", value])
+        assert exc.value.code == 2
+        assert "must be" in capsys.readouterr().err
+
+    def test_clamped_to_cpu_count(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        rc = main(["run", "incast-backpressure", "--analyzer-jobs", "8"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "--analyzer-jobs 8 exceeds the 1 available CPU" in captured.err
+        # Clamped to 1: serial analysis, no fan-out banner.
+        assert "analyzer :" not in captured.out
+
+    def test_parallel_run_diagnoses(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        rc = main(["run", "in-loop-deadlock", "--analyzer-jobs", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "analyzer : 2 worker processes" in captured.out
+        assert "CORRECT" in captured.out
+
+    def test_default_stays_serial(self, capsys):
+        rc = main(["run", "normal-contention"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "analyzer :" not in captured.out

@@ -169,6 +169,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "worker processes (clamped to the CPU count; "
                           "diagnoses are byte-identical to "
                           "--analyzer-jobs 1)")
+    run.add_argument("--shard-timeout", type=_positive_float, default=None,
+                     metavar="SECONDS",
+                     help="watchdog deadline for any single shard/analyzer "
+                          "worker reply (default: REPRO_SHARD_TIMEOUT or 60)")
 
     trace = sub.add_parser(
         "trace",
@@ -237,6 +241,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "function of seed + plan)")
     chaos.add_argument("--no-retries", action="store_true",
                        help="disable agent retransmission and DMA retries")
+    chaos.add_argument("--shards", type=_positive_int, default=1, metavar="N",
+                       help="run every cell on the sharded engine with N "
+                            "worker processes (verdicts identical to "
+                            "--shards 1)")
     chaos.add_argument("--json", metavar="FILE",
                        help="write per-cell outcomes as JSON")
     return parser
@@ -307,6 +315,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         threshold_multiplier=args.threshold,
         shards=_resolve_shards(args, scenario),
         analyzer_jobs=_resolve_analyzer_jobs(args),
+        shard_timeout_s=args.shard_timeout,
     )
     print(f"scenario : {scenario.name}")
     print(f"           {scenario.description}")
@@ -525,14 +534,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return 2
     scenarios = tuple(args.scenarios) if args.scenarios else CHAOS_SCENARIOS
     retry = None if args.no_retries else RetryPolicy()
+    sharded = f", shards {args.shards}" if args.shards > 1 else ""
     print(f"chaos sweep: {len(scenarios)} scenarios x "
           f"{len(args.loss_rates)} loss rates (fault seed {args.chaos_seed}, "
-          f"retries {'off' if retry is None else 'on'})")
+          f"retries {'off' if retry is None else 'on'}{sharded})")
     outcomes = chaos_sweep(
         scenarios=scenarios,
         loss_rates=tuple(args.loss_rates),
         seed=args.chaos_seed,
         retry=retry,
+        shards=args.shards,
     )
     header = (f"{'scenario':24s} {'loss':>6s} {'verdict':>9s} "
               f"{'confidence':>10s} {'complete':>8s} {'incidents':>9s}")

@@ -19,14 +19,26 @@ forked workers:
 Workers are always *forked*: the parent installs its live state in a
 module global right before creating the pool, children inherit it by COW,
 and only the picklable results (outcomes / contribution lists) cross back.
-Nothing here changes any result — the caller falls back to the in-process
-loop whenever fork is unavailable or the pool cannot be built, and the
+
+Supervision: every victim future is bounded by the shared watchdog
+deadline (``--shard-timeout`` / ``REPRO_SHARD_TIMEOUT``, see
+:mod:`repro.experiments.supervise`).  A worker that dies (OOM kill,
+SIGKILL, crashed extension) or hangs past the deadline forfeits the
+pool: the parent kills the survivors and diagnoses every unfinished
+victim serially with a fresh :class:`~repro.core.diagnosis.Diagnoser` —
+the diagnosis is a pure function of parent-owned state, so the recovered
+outcome is identical to what the worker would have returned.  Nothing
+here changes any result — the caller falls back to the in-process loop
+whenever fork is unavailable or the pool cannot be built, and the
 differential tests pin ``analyzer_jobs=N`` outcomes identical to ``=1``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import time
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from ..baselines.systems import SystemKind
@@ -34,6 +46,7 @@ from ..core.build import _epoch_contribution
 from ..obs import StageProfile
 from ..sim.packet import FlowKey
 from ..telemetry.snapshot import SwitchReport
+from .supervise import resolve_timeout
 
 # Fewer cold epochs than this and the fork + pickle overhead of the
 # prewarm pool exceeds the replay work it parallelizes.
@@ -43,6 +56,12 @@ MIN_PREWARM_EPOCHS = 4
 # and cleared after; workers read it, never mutate it.
 _DIAG_STATE: Optional[tuple] = None
 _WARM_STATE: Optional[tuple] = None
+
+# Chaos-test hook: when set, called as ``fn(idx)`` at the top of each
+# victim diagnosis inside the pool worker (inherited through fork).
+# ``"sigkill"`` kills the worker, ``"hang"`` wedges it past the watchdog;
+# anything else is a no-op.
+_TEST_ANALYZER_ABORT: Optional[Callable[[int], Optional[str]]] = None
 
 
 def fork_available() -> bool:
@@ -54,6 +73,12 @@ def _diagnose_worker(idx: int) -> Tuple[object, dict]:
     from ..core.diagnosis import Diagnoser
     from .runner import _diagnose_one
 
+    if _TEST_ANALYZER_ABORT is not None:
+        action = _TEST_ANALYZER_ABORT(idx)
+        if action == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(3600)
     scenario, config, net, reports_list, traced_of, now_ns, pending = _DIAG_STATE
     victim, trigger = pending[idx]
     profile = StageProfile()
@@ -125,7 +150,10 @@ def diagnose_pending_parallel(
     Returns the outcome list in ``pending`` order, or ``None`` to tell the
     caller to run its in-process loop (fork unavailable, pool failure, or
     the single-victim case — which this function first accelerates by
-    pre-warming the per-epoch replay caches).
+    pre-warming the per-epoch replay caches).  Victims whose worker died
+    or hung past the watchdog deadline are diagnosed serially in the
+    parent, so the returned list is always complete and identical to the
+    in-process loop's.
     """
     global _DIAG_STATE
     if not fork_available():
@@ -149,17 +177,61 @@ def diagnose_pending_parallel(
                 )
         return None
 
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    timeout_s = resolve_timeout(getattr(config, "shard_timeout_s", None))
     ctx = multiprocessing.get_context("fork")
     _DIAG_STATE = (
         scenario, config, net, reports_list, traced_of, now_ns, pending
     )
+    results: List[Optional[tuple]] = [None] * len(pending)
+    pool: Optional[ProcessPoolExecutor] = None
     try:
-        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-            results = pool.map(_diagnose_worker, range(len(pending)))
-    except OSError:
-        return None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=ctx
+            )
+            futures = [
+                pool.submit(_diagnose_worker, idx) for idx in range(len(pending))
+            ]
+        except OSError:
+            return None
+        # One shared deadline for the whole batch: the victims run
+        # concurrently, so per-future waits consume the same budget.
+        deadline = time.monotonic() + timeout_s
+        for idx, future in enumerate(futures):
+            remaining = max(deadline - time.monotonic(), 0.0)
+            try:
+                results[idx] = future.result(timeout=remaining)
+            except (FutureTimeout, BrokenProcessPool, OSError):
+                # A dead or wedged worker poisons the whole pool (its
+                # siblings share the executor's call queue): kill every
+                # worker outright — terminate() is not enough for a hung
+                # one — and recover the stragglers serially below.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.kill()
+                break
     finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
         _DIAG_STATE = None
+
+    missing = [idx for idx, result in enumerate(results) if result is None]
+    if missing:
+        from ..core.diagnosis import Diagnoser
+        from .runner import _diagnose_one
+
+        with profile.stage("analyzer_recover"):
+            for idx in missing:
+                victim, trigger = pending[idx]
+                recover_profile = StageProfile()
+                outcome = _diagnose_one(
+                    victim, trigger, config, net, reports_list, traced_of,
+                    now_ns, Diagnoser(), recover_profile,
+                )
+                results[idx] = (outcome, recover_profile.to_dict())
     for _, stages in results:
         # Summed across workers: total analyzer CPU, same semantics as the
         # serial loop's accumulation (elapsed time is what benches gate).

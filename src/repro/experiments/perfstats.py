@@ -58,9 +58,14 @@ class PerfStats:
     aggregate_events_per_sec: float = 0.0
     # Cross-shard frame transport accounting (sharded runs only): the mode
     # actually used ("shm" rings or pickled "pipe"), frames carried by each
-    # path, and fallbacks (ring overflow / codec misses).  Empty on
-    # single-process runs.
+    # path, and fallbacks (ring overflow / codec misses / rows failing the
+    # write-back integrity verify).  Empty on single-process runs.
     transport: Dict[str, Any] = field(default_factory=dict)
+    # Worker-supervision accounting (sharded runs only): the watchdog
+    # timeout and fallback mode in force, plus — after a worker loss —
+    # which shards were lost and which fallback actually ran.  Empty on
+    # single-process runs.
+    supervision: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_run(

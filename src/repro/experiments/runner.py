@@ -87,6 +87,11 @@ class RunConfig:
     # many worker processes (see ``repro.experiments.analyzerpool``).
     # ``1`` keeps diagnosis in-process; outcomes are identical either way.
     analyzer_jobs: int = 1
+    # Watchdog deadline (seconds) for any single shard/analyzer worker
+    # reply before the parent declares the worker lost (see
+    # ``repro.experiments.supervise``).  ``None`` defers to the
+    # ``REPRO_SHARD_TIMEOUT`` environment, then the 60 s default.
+    shard_timeout_s: Optional[float] = None
 
     def scheme(self) -> EpochScheme:
         return EpochScheme.from_epoch_size(

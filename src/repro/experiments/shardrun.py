@@ -7,7 +7,7 @@ conservative-lookahead barrier:
 
 - every worker owns the switches and hosts of its shard and simulates
   them with a full private pipeline (telemetry deployment, collector,
-  polling engine, detection agent);
+  polling engine, detection agent, fault injector, fabric monitor);
 - frames addressed to a remote node are flattened into the shard's
   outbox (:class:`repro.sim.network.Network`) instead of its event loop;
 - at each barrier the orchestrator grants a new epoch horizon
@@ -17,14 +17,45 @@ conservative-lookahead barrier:
   within it (delivery delay >= link latency + serialization), so workers
   never see a remote frame late.
 
+Chaos runs shard cleanly because the fault injector draws every decision
+from a per-``(category, entity)`` RNG stream (see
+:mod:`repro.faults.injector`): a switch's fault fates are identical
+whether it is simulated in-process or in any worker, and the per-shard
+incident logs merge canonically (:func:`repro.faults.injector
+.merge_shard_incidents`).  Polling retry/backoff needs two extras: the
+parent caps each epoch so no retry check fires with incomplete remote
+state (workers report their earliest pending check; the barrier lands
+just before it, with a one-tick micro-epoch when the check is immediately
+due), and workers exchange *control records* — per-switch report-delivery
+times, per-victim trace sets and retransmission resets — as diffs
+relayed through the barrier, so the path-coverage probe and the polling
+dedup windows see the same fabric-wide state the single-process run
+sees.  The continuous fabric monitor shards the same way: every alert
+rule is per-subject and every subject lives in exactly one shard, so
+per-worker monitors sample exactly their slice and the parent merges
+alerts canonically (:class:`repro.monitor.merge.MergedMonitor`).
+
 Cross-shard frames travel over one of two transports
 (``REPRO_SHARD_TRANSPORT`` selects: ``auto``/``pipe``/``shm``): large
 per-destination batches ride fixed-width int64 rows in parity-split
 ``multiprocessing.shared_memory`` rings (:mod:`repro.experiments
 .shmring`) with only row *counts* crossing the barrier pipes, while
 small batches, codec misses and ring overflows ride the pickled pipe
-path unchanged.  Each worker routes its own outbox by the shard plan;
-the orchestrator just relays counts and leftovers.
+path unchanged.  Every ring row carries an epoch/index integrity stamp:
+torn or stale rows raise at drain time (surfacing as a ``transport``
+worker failure), and rows that fail the writer's read-back verify spill
+to the pipe per frame (``PerfStats.transport["integrity_spills"]``).
+
+Worker supervision: a barrier watchdog (``--shard-timeout`` /
+``REPRO_SHARD_TIMEOUT``, default 60 s) bounds every wait on a worker.  A
+hung, crashed or transport-poisoned worker trips the watchdog; the
+parent then terminates the fleet, cleans up the shared segment on every
+exit path (``finally`` + ``atexit`` + SIGTERM), and follows
+``REPRO_SHARD_FALLBACK``: ``serial`` (default) reruns the scenario once
+on the single-process engine — byte-identical result, just slower;
+``degrade`` finishes the survivors and returns a diagnosis whose
+``completeness``/``missing_switches`` reflect the lost pods (never a
+full-confidence verdict); ``fail`` raises.
 
 Determinism: deliveries are ordered by the engine's canonical
 ``(send time, trigger schedule time, source, per-source seq)`` key in a
@@ -38,20 +69,23 @@ parent, over the merged worker state — the same
 :func:`repro.experiments.runner.diagnose_victims` the in-process runner
 uses.
 
-Not supported with ``shards > 1`` (raises ``ValueError``): fault
-injection/retry (the injector's RNG stream is global), the continuous
-fabric monitor, full-network collection baselines, and per-packet sim
-tracing — each couples shards through state the barrier protocol does
-not ship.
+Not supported with ``shards > 1`` (raises ``ValueError``): full-network
+collection baselines (global trigger fan-out) and per-packet sim tracing
+(per-shard record floods).  Retry policies whose ``report_timeout_ns``
+does not exceed the partition's lookahead fall back to the serial engine
+(the barrier cannot land between a trigger and its first check).
 """
 
 from __future__ import annotations
 
+import atexit
 import gc
 import os
+import signal
+import threading
 import time
 from dataclasses import asdict
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..baselines.systems import (
     bandwidth_overhead_bytes,
@@ -60,6 +94,9 @@ from ..baselines.systems import (
 from ..collection.agent import AgentConfig, DetectionAgent
 from ..collection.collector import TelemetryCollector
 from ..collection.polling import PollingConfig, PollingEngine
+from ..faults.injector import make_injector, merge_shard_incidents
+from ..monitor.merge import MergedMonitor
+from ..monitor.monitor import FabricMonitor
 from ..obs import (
     Event,
     MetricsRegistry,
@@ -75,8 +112,25 @@ from ..sim.shard import shard_build_context
 from ..telemetry.hawkeye import HawkeyeDeployment, TelemetryConfig
 from ..telemetry.snapshot import SwitchReport
 from ..topology.partition import ShardPlan, partition_topology
+from ..units import usec
 from .perfstats import PerfStats, diff_cache_counters, global_cache_counters
-from .shmring import SHM_MIN_FRAMES, ShmFrameTransport, build_transport
+from .shmring import (
+    SHM_MIN_FRAMES,
+    ShmFrameTransport,
+    ShmRingIntegrityError,
+    build_transport,
+)
+from .supervise import (
+    FALLBACK_DEGRADE,
+    FALLBACK_FAIL,
+    FALLBACK_SERIAL,
+    ShardCrashed,
+    ShardTimeout,
+    ShardWorkerError,
+    resolve_fallback,
+    resolve_timeout,
+    resolve_transport_mode,
+)
 from .runner import (
     RunConfig,
     RunResult,
@@ -85,6 +139,14 @@ from .runner import (
     diagnose_victims,
     run_scenario,
 )
+
+# Chaos-test hook: when set, called as ``fn(shard_id, epoch_no)`` at the
+# top of every epoch inside each worker (inherited through fork).  A
+# returned action string simulates a failure mode: ``"sigkill"`` kills
+# the worker outright, ``"hang"`` wedges it past any sane watchdog
+# deadline, ``"corrupt-ring"`` scribbles over an inbound shm ring row so
+# the drain trips the integrity check.  ``None`` / unknown = no-op.
+_TEST_WORKER_ABORT: Optional[Callable[[int, int], Optional[str]]] = None
 
 
 class ShardPipelineObs(PipelineObs):
@@ -141,12 +203,6 @@ class ShardPipelineObs(PipelineObs):
 
 
 def _unsupported(config: RunConfig) -> Optional[str]:
-    if config.faults is not None:
-        return "fault injection (global injector RNG stream)"
-    if config.retry is not None:
-        return "polling retry/backoff (depends on fault injection)"
-    if config.monitor is not None and config.monitor.enabled:
-        return "continuous fabric monitoring (fabric-global alert state)"
     if config.obs is not None and config.obs.sim_events:
         return "per-packet sim tracing (per-shard record floods)"
     if config.system.collects_everywhere:
@@ -185,11 +241,20 @@ def _shard_worker_main(
         obs: Optional[ShardPipelineObs] = None
         if config.obs is not None and config.obs.trace:
             obs = ShardPipelineObs(Tracer(NullSink()), metrics)
+        # Construction order mirrors run_scenario exactly: same-timestamp
+        # timer events (monitor ticks vs stall checks vs DMA reads) break
+        # ties by schedule order, which must match the in-process engine.
+        monitor: Optional[FabricMonitor] = None
+        if config.monitor is not None and config.monitor.enabled:
+            monitor = FabricMonitor(net, config.monitor, metrics=metrics).start()
+        injector = make_injector(config.faults, shard_id=shard_id)
         deployment = HawkeyeDeployment(
             net,
             TelemetryConfig(scheme=config.scheme(), flow_slots=config.flow_slots),
         )
-        collector = TelemetryCollector(deployment, obs=obs)
+        collector = TelemetryCollector(
+            deployment, injector=injector, retry=config.retry, obs=obs
+        )
         kind = config.system
         engine: Optional[PollingEngine] = None
         if kind.uses_polling_packets or kind.pfc_blind:
@@ -199,14 +264,69 @@ def _shard_worker_main(
                 PollingConfig(
                     trace_pfc=kind.traces_pfc, use_meters=config.use_meters
                 ),
+                injector=injector,
                 obs=obs,
             )
             engine.add_mirror_listener(collector.on_polling_mirror)
         agent = DetectionAgent(
             net,
             AgentConfig(threshold_multiplier=config.threshold_multiplier),
+            retry=config.retry,
+            injector=injector,
             obs=obs,
+            monitor=monitor,
         )
+
+        # Remote-shard control view (retry runs only): latest report
+        # delivery per remote switch and remote trace sets per victim,
+        # built from the control records the barrier relays.  Complete
+        # through the previous epoch's horizon — the parent's checkpoint
+        # capping guarantees no retry check fires needing fresher state.
+        retry_on = config.retry is not None
+        view_deliveries: Dict[str, int] = {}
+        view_traces: Dict[FlowKey, Set[str]] = {}
+        resets_out: List[Tuple[int, FlowKey]] = []
+        shipped_deliveries: Dict[str, int] = {}
+        shipped_traces: Dict[FlowKey, Set[str]] = {}
+        spills_shipped = 0
+        if retry_on:
+            if engine is not None:
+                # The sharded path-coverage probe: identical to the
+                # in-process probe in run_scenario, with the remote halves
+                # of "traced" and "reported" supplied by the control view.
+                probe_slack_ns = usec(200)
+
+                def _path_probe(victim_key: FlowKey, since_ns: int) -> bool:
+                    src_host = net.topology.host_of_ip(victim_key.src_ip)
+                    expected = set(
+                        net.routing.switch_path(
+                            src_host, victim_key.dst_ip, victim_key
+                        )
+                    )
+                    expected |= engine.switches_traced_for(victim_key)
+                    expected |= view_traces.get(victim_key, set())
+                    cutoff = since_ns - probe_slack_ns
+                    reported = collector.switches_reported_since(cutoff)
+                    for sw, t in view_deliveries.items():
+                        if t >= cutoff:
+                            reported.add(sw)
+                    return expected <= reported
+
+                agent.set_report_probe(_path_probe)
+                agent.add_retransmit_listener(engine.reset_victim)
+
+                def _note_reset(victim: FlowKey) -> None:
+                    resets_out.append((net.sim.now, victim))
+
+                agent.add_retransmit_listener(_note_reset)
+            else:
+
+                def _any_probe(victim_key: FlowKey, since_ns: int) -> bool:
+                    if collector.has_report_since(victim_key, since_ns):
+                        return True
+                    return any(t >= since_ns for t in view_deliveries.values())
+
+                agent.set_report_probe(_any_probe)
 
         duration = scenario.duration_ns
         node_shard = plan.assignment
@@ -222,7 +342,22 @@ def _shard_worker_main(
             msg = conn.recv()
             op = msg[0]
             if op == "epoch":
-                epoch_no, until, frames, shm_counts = msg[1:5]
+                epoch_no, until, frames, shm_counts, control = msg[1:6]
+                if _TEST_WORKER_ABORT is not None:
+                    action = _TEST_WORKER_ABORT(shard_id, epoch_no)
+                    if action == "sigkill":
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    elif action == "hang":
+                        time.sleep(3600)
+                    elif (
+                        action == "corrupt-ring"
+                        and transport is not None
+                        and shm_counts
+                    ):
+                        src0 = next(iter(shm_counts))
+                        transport._words[
+                            transport._base(src0, shard_id, epoch_no - 1)
+                        ] = 0
                 if shm_counts:
                     with profile.stage("shard_transport"):
                         for src, count in shm_counts.items():
@@ -231,6 +366,22 @@ def _shard_worker_main(
                                     src, shard_id, epoch_no - 1, count
                                 )
                             )
+                if control:
+                    for sw, t in control["deliveries"]:
+                        if view_deliveries.get(sw, -1) < t:
+                            view_deliveries[sw] = t
+                    for victim, sw in control["traces"]:
+                        view_traces.setdefault(victim, set()).add(sw)
+                    if engine is not None and control["resets"]:
+                        # Remote retransmissions reopen this shard's dedup
+                        # windows before any retransmitted frame can arrive
+                        # (arrivals land strictly beyond the grant that
+                        # contained the reset).  Canonical order keeps
+                        # multi-reset epochs deterministic.
+                        for _t, victim in sorted(
+                            control["resets"], key=lambda r: (r[0], str(r[1]))
+                        ):
+                            engine.reset_victim(victim)
                 # CPU time, not wall time: on a machine with fewer cores
                 # than shards the workers time-share, and wall time would
                 # charge each shard for its siblings' slices.  With one
@@ -277,6 +428,36 @@ def _shard_worker_main(
                                     pipe_out[dest] = leftover
                             else:
                                 pipe_out[dest] = dest_frames
+                next_ckpt = (
+                    agent.next_pending_retry(net.sim.now) if retry_on else None
+                )
+                control_out: Optional[Dict[str, list]] = None
+                if retry_on:
+                    deliveries_diff: List[Tuple[str, int]] = []
+                    for sw, t in collector._delivery_times.items():
+                        if shipped_deliveries.get(sw, -1) < t:
+                            shipped_deliveries[sw] = t
+                            deliveries_diff.append((sw, t))
+                    traces_diff: List[Tuple[FlowKey, str]] = []
+                    if engine is not None:
+                        for victim, sws in engine._victim_switches.items():
+                            shipped = shipped_traces.setdefault(victim, set())
+                            fresh = sws - shipped
+                            if fresh:
+                                shipped |= fresh
+                                traces_diff.extend(
+                                    (victim, sw) for sw in sorted(fresh)
+                                )
+                    control_out = {
+                        "deliveries": deliveries_diff,
+                        "traces": traces_diff,
+                        "resets": resets_out[:],
+                    }
+                    resets_out.clear()
+                integrity_delta = 0
+                if transport is not None:
+                    integrity_delta = transport.integrity_spills - spills_shipped
+                    spills_shipped = transport.integrity_spills
                 conn.send(
                     (
                         "done",
@@ -285,16 +466,21 @@ def _shard_worker_main(
                         overflow,
                         net.sim.peek_next_time(),
                         out_min,
+                        next_ckpt,
+                        control_out,
+                        integrity_delta,
                     )
                 )
             elif op == "finish":
                 collector.flush_pending(net.sim.now)
+                if monitor is not None:
+                    monitor.finish(net.sim.now)
                 conn.send(
                     (
                         "final",
                         _final_blob(
                             net, collector, engine, agent, deployment, obs,
-                            metrics, busy_s, profile,
+                            metrics, busy_s, profile, injector, monitor,
                         ),
                     )
                 )
@@ -302,17 +488,19 @@ def _shard_worker_main(
                 return
             else:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown shard op {op!r}")
-    except Exception:  # pragma: no cover - shipped to parent for re-raise
+    except Exception as exc:  # pragma: no cover - shipped to parent for re-raise
         import traceback
 
+        kind = "transport" if isinstance(exc, ShmRingIntegrityError) else "worker"
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send(("error", traceback.format_exc(), kind))
         except Exception:
             pass
 
 
 def _final_blob(
-    net, collector, engine, agent, deployment, obs, metrics, busy_s, profile
+    net, collector, engine, agent, deployment, obs, metrics, busy_s, profile,
+    injector, monitor,
 ) -> Dict[str, Any]:
     """Everything the parent needs to merge one shard's finished state."""
     blob: Dict[str, Any] = {
@@ -330,6 +518,18 @@ def _final_blob(
             "packets_suppressed": engine.polling_packets_suppressed if engine else 0,
             "packets_lost": engine.polling_packets_lost if engine else 0,
         },
+        "fault_incidents": list(injector.incidents) if injector is not None else [],
+        "agent_counters": {
+            "retransmissions": agent.retransmissions,
+            "retries_recovered": agent.retries_recovered,
+            "retries_exhausted": agent.retries_exhausted,
+            "restarts": agent.restarts,
+        },
+        "monitor": (
+            {"alerts": list(monitor.alerts), "counters": monitor.counters()}
+            if monitor is not None
+            else None
+        ),
         "sim_counters": net.sim.counters(),
         "data_pkt_hops": sum(sw.stats.data_pkts for sw in net.switches.values()),
         "data_pkts_sent": sum(f.packets_sent for f in net.flows),
@@ -472,6 +672,37 @@ def _merge_obs(
             event.span_id = target.span_id
 
 
+def _degrade_outcomes(
+    outcomes, scenario, net, traced_of, lost_switches: Set[str]
+) -> None:
+    """Stamp every diagnosis with the telemetry the lost shards took.
+
+    ``Diagnosis.confidence`` is derived (full iff completeness is 1.0
+    with nothing missing or degraded), so folding the lost pods' switches
+    into ``missing_switches`` and recomputing completeness against the
+    enlarged expected set guarantees no full-confidence verdict can
+    survive a lost shard.
+    """
+    if not lost_switches:
+        return
+    for victim, outcome in zip(scenario.victims, outcomes):
+        diagnosis = outcome.diagnosis
+        if diagnosis is None:
+            continue
+        prev_missing = set(diagnosis.missing_switches)
+        expected = set(
+            net.routing.switch_path(victim.src_host, victim.key.dst_ip, victim.key)
+        )
+        if traced_of is not None:
+            expected |= traced_of(victim.key)
+        expected |= prev_missing | lost_switches
+        missing = prev_missing | lost_switches
+        diagnosis.missing_switches = sorted(missing)
+        diagnosis.completeness = (
+            len(expected - missing) / len(expected) if expected else 1.0
+        )
+
+
 def run_scenario_sharded(
     spec: ScenarioSpec, config: Optional[RunConfig] = None
 ) -> RunResult:
@@ -489,6 +720,12 @@ def run_scenario_sharded(
     reason = _unsupported(config)
     if config.shards > 1 and reason is not None:
         raise ValueError(f"shards={config.shards} does not support {reason}")
+    # Supervision policy resolves before anything forks: an unknown
+    # environment value must be a loud startup error, never a silent
+    # default applied mid-fleet.
+    timeout_s = resolve_timeout(getattr(config, "shard_timeout_s", None))
+    fallback = resolve_fallback()
+    requested_mode = resolve_transport_mode()
 
     wall_start = time.perf_counter()
     scenario = spec.build()
@@ -496,11 +733,18 @@ def run_scenario_sharded(
     plan = partition_topology(net.topology, config.shards)
     if plan.shards <= 1:
         return run_scenario(scenario, config)
+    if config.retry is not None and plan.lookahead_ns >= config.retry.report_timeout_ns:
+        # A retry check could fire inside the epoch that scheduled it,
+        # before its checkpoint ever reaches a barrier — the capping
+        # protocol cannot protect it.  The serial engine is the correct
+        # executor for such a tightly-wound policy.
+        return run_scenario(scenario, config)
 
     caches_before = global_cache_counters()
     metrics = MetricsRegistry()
     profile = StageProfile(metrics)
     kind = config.system
+    retry_on = config.retry is not None
 
     obs: Optional[PipelineObs] = None
     if config.obs is not None and config.obs.trace:
@@ -513,52 +757,142 @@ def run_scenario_sharded(
     # Shared-memory rings must exist before forking (workers inherit the
     # mapping; under spawn the transport object cannot cross at all, so
     # non-fork platforms stay on the pipe path).
-    requested_mode = os.environ.get("REPRO_SHARD_TRANSPORT", "auto")
-    if requested_mode not in ("auto", "pipe", "shm"):
-        requested_mode = "auto"
     transport: Optional[ShmFrameTransport] = None
     if requested_mode != "pipe" and fork_available:
         transport = build_transport(plan.shards, net.topology)
     transport_mode = requested_mode if transport is not None else "pipe"
 
-    conns = []
-    procs = []
-    for shard_id in range(plan.shards):
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_shard_worker_main,
-            args=(child_conn, spec, config, plan, shard_id, transport, transport_mode),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        conns.append(parent_conn)
-        procs.append(proc)
+    conns: List[Any] = []
+    procs: List[Any] = []
+
+    # Every exit path — normal return, exception unwind, SIGTERM, even
+    # interpreter shutdown with workers still forked — must kill the
+    # fleet and unlink the shared segment; both operations are
+    # idempotent, so belt (finally) and suspenders (atexit/signal)
+    # cannot double-free.
+    def _emergency_cleanup() -> None:
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+        if transport is not None:
+            transport.destroy()
+
+    atexit.register(_emergency_cleanup)
+    installed_sig = False
+    old_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+
+        def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+            raise SystemExit(143)
+
+        try:
+            old_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+            installed_sig = True
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
 
     duration = scenario.duration_ns
     lookahead = max(plan.lookahead_ns, 1)
     frames_for: List[List[tuple]] = [[] for _ in range(plan.shards)]
     shm_counts_for: List[Dict[int, int]] = [{} for _ in range(plan.shards)]
+    control_for: List[Optional[dict]] = [None] * plan.shards
     barrier_epochs = 0
-    max_busy_s = 0.0
     shm_frames = 0
     pipe_frames = 0
     shm_fallback = 0
+    integrity_spills = 0
+    failure: Optional[ShardWorkerError] = None
+    lost_shards: Set[int] = set()
+    blobs: List[Optional[Dict[str, Any]]] = [None] * plan.shards
 
-    def _recv(shard_id: int):
-        msg = conns[shard_id].recv()
-        if msg[0] == "error":
-            for proc in procs:
-                proc.terminate()
-            raise RuntimeError(f"shard {shard_id} failed:\n{msg[1]}")
-        return msg
+    def _recv(shard_id: int, deadline: float):
+        """Watchdog recv: bounded by ``deadline``, alive-checked.
+
+        Raises :class:`ShardWorkerError` (or a subclass) instead of ever
+        blocking forever on a dead or wedged worker.
+        """
+        conn = conns[shard_id]
+        proc = procs[shard_id]
+        while True:
+            if conn.poll(0.05):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise ShardCrashed(
+                        shard_id,
+                        f"shard {shard_id} worker died mid-protocol "
+                        f"(exitcode {proc.exitcode})",
+                    ) from None
+                if msg[0] == "error":
+                    err_kind = msg[2] if len(msg) > 2 else "worker"
+                    raise ShardWorkerError(
+                        shard_id,
+                        f"shard {shard_id} failed:\n{msg[1]}",
+                        kind=err_kind,
+                    )
+                return msg
+            if not proc.is_alive() and not conn.poll(0):
+                raise ShardCrashed(
+                    shard_id,
+                    f"shard {shard_id} worker died mid-protocol "
+                    f"(exitcode {proc.exitcode})",
+                )
+            if time.monotonic() > deadline:
+                raise ShardTimeout(
+                    shard_id,
+                    f"shard {shard_id} missed the barrier watchdog deadline "
+                    f"({timeout_s:g}s)",
+                )
+
+    def _collect_degraded(exc: ShardWorkerError) -> Set[int]:
+        """Degrade path: finish the survivors, record who was lost."""
+        lost = {exc.shard_id}
+        procs[exc.shard_id].kill()  # reaped in the outer finally
+        deadline = time.monotonic() + timeout_s
+        for sid in range(plan.shards):
+            if sid in lost:
+                continue
+            try:
+                conns[sid].send(("finish",))
+            except (BrokenPipeError, OSError):
+                lost.add(sid)
+        for sid in range(plan.shards):
+            if sid in lost:
+                continue
+            try:
+                while True:
+                    msg = _recv(sid, deadline)
+                    if msg[0] == "final":
+                        blobs[msg[1]["shard_id"]] = msg[1]
+                        break
+                    # A stale "done" from the epoch in flight when the
+                    # fleet failed: drop it and keep draining.
+            except ShardWorkerError:
+                lost.add(sid)
+        return lost
 
     try:
+        for shard_id in range(plan.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn, spec, config, plan, shard_id, transport,
+                    transport_mode,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
         with profile.stage("simulate"):
             until = 0
             while True:
                 epoch_no = barrier_epochs
                 barrier_epochs += 1
+                deadline = time.monotonic() + timeout_s
                 for shard_id, conn in enumerate(conns):
                     conn.send(
                         (
@@ -567,21 +901,32 @@ def run_scenario_sharded(
                             until,
                             frames_for[shard_id],
                             shm_counts_for[shard_id],
+                            control_for[shard_id],
                         )
                     )
                     frames_for[shard_id] = []
                     shm_counts_for[shard_id] = {}
+                    control_for[shard_id] = None
                 earliest: Optional[int] = None
+                min_ckpt: Optional[int] = None
+                round_controls: List[Optional[dict]] = [None] * plan.shards
                 for shard_id in range(plan.shards):
-                    _, counts_out, pipe_out, overflow, peek, out_min = _recv(
-                        shard_id
-                    )
+                    (
+                        _, counts_out, pipe_out, overflow, peek, out_min,
+                        next_ckpt, control_out, integrity_delta,
+                    ) = _recv(shard_id, deadline)
                     if peek is not None and (earliest is None or peek < earliest):
                         earliest = peek
                     if out_min is not None and (
                         earliest is None or out_min < earliest
                     ):
                         earliest = out_min
+                    if next_ckpt is not None and (
+                        min_ckpt is None or next_ckpt < min_ckpt
+                    ):
+                        min_ckpt = next_ckpt
+                    round_controls[shard_id] = control_out
+                    integrity_spills += integrity_delta
                     for dest, count in counts_out.items():
                         shm_counts_for[dest][shard_id] = count
                         shm_frames += count
@@ -592,42 +937,132 @@ def run_scenario_sharded(
                 if until >= duration:
                     break
                 if earliest is None:
-                    until = duration
+                    until_next = duration
                 else:
-                    until = min(duration, max(earliest + lookahead - 1, until + 1))
-        blobs = [None] * plan.shards
+                    until_next = min(
+                        duration, max(earliest + lookahead - 1, until + 1)
+                    )
+                if min_ckpt is not None:
+                    # Land the barrier just before the earliest pending
+                    # retry check, so the check executes with the remote
+                    # control view complete through check-time - 1.  A
+                    # check due on the very next tick gets a one-tick
+                    # micro-epoch ending exactly AT it — with concurrent
+                    # victims two checks can share one grant otherwise.
+                    if min_ckpt - 1 > until:
+                        until_next = min(until_next, min_ckpt - 1)
+                    elif min_ckpt == until + 1:
+                        until_next = min(until_next, min_ckpt)
+                if retry_on:
+                    # Relay each shard the union of the *other* shards'
+                    # control records from this round.
+                    for dest in range(plan.shards):
+                        merged = {"deliveries": [], "traces": [], "resets": []}
+                        for sid in range(plan.shards):
+                            if sid == dest:
+                                continue
+                            c = round_controls[sid]
+                            if not c:
+                                continue
+                            merged["deliveries"].extend(c["deliveries"])
+                            merged["traces"].extend(c["traces"])
+                            merged["resets"].extend(c["resets"])
+                        control_for[dest] = merged
+                until = until_next
         with profile.stage("flush_pending"):
+            deadline = time.monotonic() + timeout_s
             for conn in conns:
                 conn.send(("finish",))
             for shard_id in range(plan.shards):
-                msg = _recv(shard_id)
+                msg = _recv(shard_id, deadline)
                 blobs[msg[1]["shard_id"]] = msg[1]
+    except ShardWorkerError as exc:
+        failure = exc
+        if fallback == FALLBACK_FAIL:
+            raise RuntimeError(
+                f"sharded run lost a worker and REPRO_SHARD_FALLBACK=fail: {exc}"
+            ) from exc
+        if fallback == FALLBACK_DEGRADE:
+            lost_shards = _collect_degraded(exc)
     finally:
         for proc in procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker backstop
+            if proc.is_alive():
                 proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.kill()
+                proc.join(timeout=5)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         if transport is not None:
             transport.destroy()
+        atexit.unregister(_emergency_cleanup)
+        if installed_sig:
+            signal.signal(signal.SIGTERM, old_sigterm)
+
+    supervision: Dict[str, Any] = {"timeout_s": timeout_s, "fallback": fallback}
+    if failure is not None and fallback == FALLBACK_SERIAL:
+        # The parent's scenario was built but never run — rerunning it on
+        # the single-process engine reproduces the sharded result
+        # byte-for-byte (the same path ``shards<=1`` takes).
+        result = run_scenario(scenario, config)
+        supervision.update(
+            {
+                "fallback_ran": "serial",
+                "lost_shards": [failure.shard_id],
+                "failure": str(failure),
+                "failure_kind": failure.kind,
+            }
+        )
+        if result.perf is not None:
+            result.perf.supervision = supervision
+        return result
+    if failure is not None:
+        supervision.update(
+            {
+                "fallback_ran": "degrade",
+                "lost_shards": sorted(lost_shards),
+                "failure": str(failure),
+                "failure_kind": failure.kind,
+            }
+        )
 
     # -- merge ---------------------------------------------------------------
+    live_blobs = [blob for blob in blobs if blob is not None]
     reports: List[SwitchReport] = []
-    for blob in blobs:
+    for blob in live_blobs:
         reports.extend(SwitchReport.from_columnar(b) for b in blob["reports"])
     reports.sort(key=lambda r: (r.collect_time, r.switch))
     triggers = sorted(
-        (t for blob in blobs for t in blob["triggers"]),
+        (t for blob in live_blobs for t in blob["triggers"]),
         key=lambda t: (t.time_ns, str(t.victim)),
     )
     victim_switches: Dict[FlowKey, set] = {}
-    for blob in blobs:
+    for blob in live_blobs:
         for victim, switches in blob["victim_switches"].items():
             victim_switches.setdefault(victim, set()).update(switches)
     traced_of: Optional[Callable[[FlowKey], set]] = None
     if kind.uses_polling_packets or kind.pfc_blind:
         traced_of = lambda key: set(victim_switches.get(key, ()))  # noqa: E731
     if obs is not None:
-        _merge_obs(obs, blobs)
+        _merge_obs(obs, live_blobs)
+
+    merged_monitor: Optional[MergedMonitor] = None
+    if config.monitor is not None and config.monitor.enabled:
+        merged_monitor = MergedMonitor(
+            [
+                blob["monitor"]["alerts"] if blob and blob.get("monitor") else None
+                for blob in blobs
+            ],
+            [
+                blob["monitor"]["counters"] if blob and blob.get("monitor") else None
+                for blob in blobs
+            ],
+        )
 
     outcomes = diagnose_victims(
         scenario,
@@ -638,15 +1073,22 @@ def run_scenario_sharded(
         traced_of,
         duration,
         obs=obs,
-        monitor=None,
+        monitor=merged_monitor,
         profile=profile,
     )
+    if lost_shards:
+        lost_switch_names = {
+            name
+            for name, sid in plan.assignment.items()
+            if sid in lost_shards and name in net.switches
+        }
+        _degrade_outcomes(outcomes, scenario, net, traced_of, lost_switch_names)
 
     # -- accounting ----------------------------------------------------------
-    data_pkt_hops = sum(blob["data_pkt_hops"] for blob in blobs)
-    data_pkts_sent = sum(blob["data_pkts_sent"] for blob in blobs)
+    data_pkt_hops = sum(blob["data_pkt_hops"] for blob in live_blobs)
+    data_pkts_sent = sum(blob["data_pkts_sent"] for blob in live_blobs)
     polling_pkts = sum(
-        blob["polling_counters"]["packets_forwarded"] for blob in blobs
+        blob["polling_counters"]["packets_forwarded"] for blob in live_blobs
     ) + len(triggers)
     primary = next(
         (
@@ -672,7 +1114,13 @@ def run_scenario_sharded(
     merged_caches: Dict[str, Dict[str, int]] = {}
     collector_stats: Dict[str, int] = {}
     sim_counters: Dict[str, int] = {}
-    for blob in blobs:
+    agent_counters = {
+        "retransmissions": 0,
+        "retries_recovered": 0,
+        "retries_exhausted": 0,
+        "restarts": 0,
+    }
+    for blob in live_blobs:
         ecmp["hits"] += blob["ecmp_cache"]["hits"]
         ecmp["misses"] += blob["ecmp_cache"]["misses"]
         for name, hm in blob["cache_counters"].items():
@@ -683,12 +1131,56 @@ def run_scenario_sharded(
             collector_stats[name] = collector_stats.get(name, 0) + value
         for name, value in blob["sim_counters"].items():
             sim_counters[name] = sim_counters.get(name, 0) + value
+        ac = blob["agent_counters"]
+        agent_counters["retransmissions"] += ac["retransmissions"]
+        agent_counters["retries_recovered"] += ac["retries_recovered"]
+        agent_counters["retries_exhausted"] += ac["retries_exhausted"]
+        # Every shard draws the shared agent-restart stream identically;
+        # the counts are copies of one another, not parts of a sum.
+        agent_counters["restarts"] = max(
+            agent_counters["restarts"], ac["restarts"]
+        )
         metrics.absorb_counters("", blob["metrics_counters"])
     cache_stats["ecmp_select"] = ecmp
     cache_stats.update(merged_caches)
 
+    # -- chaos accounting (canonical incident merge) --------------------------
+    incidents_merged, fault_stats = merge_shard_incidents(
+        [blob["fault_incidents"] if blob is not None else None for blob in blobs]
+    )
+    fault_counters: Dict[str, int] = {}
+    fault_incidents: List[str] = []
+    if config.faults is not None and config.faults.enabled:
+        fault_counters.update(fault_stats)
+        fault_incidents = [i.describe() for i in incidents_merged]
+    for name, value in (
+        ("agent_retransmissions", agent_counters["retransmissions"]),
+        ("agent_retries_recovered", agent_counters["retries_recovered"]),
+        ("agent_retries_exhausted", agent_counters["retries_exhausted"]),
+        ("agent_restarts", agent_counters["restarts"]),
+        (
+            "polling_packets_lost",
+            sum(
+                blob["polling_counters"]["packets_lost"] for blob in live_blobs
+            ),
+        ),
+        ("dma_retries", collector_stats.get("dma_retries", 0)),
+        ("dma_reads_abandoned", collector_stats.get("dma_reads_abandoned", 0)),
+        ("stale_reads", collector_stats.get("stale_reads", 0)),
+        ("reports_lost", collector_stats.get("reports_lost", 0)),
+        ("reports_truncated", collector_stats.get("reports_truncated", 0)),
+        ("reports_delayed", collector_stats.get("reports_delayed", 0)),
+    ):
+        if value:
+            fault_counters[name] = value
+    for sid in sorted(lost_shards):
+        fault_incidents.append(
+            f"t={duration} shard_worker_lost @ shard{sid} "
+            f"({supervision.get('failure_kind', 'worker')})"
+        )
+
     events_run = sim_counters.get("events_run", 0)
-    busy = [blob["busy_s"] for blob in blobs]
+    busy = [blob["busy_s"] for blob in live_blobs]
     max_busy_s = max(busy) if busy else 0.0
     wall_s = time.perf_counter() - wall_start
     # Parent stages (simulate, flush_pending, analyzer stages) carry
@@ -697,7 +1189,7 @@ def run_scenario_sharded(
     # shard, i.e. the stage's critical-path contribution.
     stages = {
         **profile.to_dict(),
-        **merge_stage_dicts([blob.get("stages", {}) for blob in blobs]),
+        **merge_stage_dicts([blob.get("stages", {}) for blob in live_blobs]),
     }
     sim_wall_s = stages.get("simulate", {}).get("wall_s", wall_s)
     perf = PerfStats(
@@ -706,11 +1198,13 @@ def run_scenario_sharded(
         events_run=events_run,
         events_per_sec=events_run / wall_s if wall_s > 0 else 0.0,
         peak_pending_events=max(
-            blob["sim_counters"].get("max_pending_entries", 0) for blob in blobs
+            (blob["sim_counters"].get("max_pending_entries", 0) for blob in live_blobs),
+            default=0,
         ),
         events_purged=sim_counters.get("events_purged", 0),
         compactions=sim_counters.get("compactions", 0),
         caches=cache_stats,
+        faults=fault_counters,
         stages=stages,
         shards=plan.shards,
         barrier_epochs=barrier_epochs,
@@ -725,28 +1219,27 @@ def run_scenario_sharded(
             "shm_frames": shm_frames,
             "pipe_frames": pipe_frames,
             "shm_fallback_frames": shm_fallback,
+            "integrity_spills": integrity_spills,
         },
+        supervision=supervision,
     )
 
     metrics.absorb_counters("sim", sim_counters)
     metrics.absorb_counters("cache", cache_stats)
     metrics.absorb_counters("collection", collector_stats)
     metrics.absorb_counters(
-        "agent",
-        {
-            "triggers": len(triggers),
-            "retransmissions": 0,
-            "retries_recovered": 0,
-            "retries_exhausted": 0,
-            "restarts": 0,
-        },
+        "agent", {"triggers": len(triggers), **agent_counters}
     )
     if traced_of is not None:
         polling_totals = {"packets_forwarded": 0, "packets_suppressed": 0, "packets_lost": 0}
-        for blob in blobs:
+        for blob in live_blobs:
             for name in polling_totals:
                 polling_totals[name] += blob["polling_counters"][name]
         metrics.absorb_counters("polling", polling_totals)
+    if fault_counters:
+        metrics.absorb_counters("faults", fault_counters)
+    if merged_monitor is not None:
+        metrics.absorb_counters("monitor", merged_monitor.counters())
     metrics.gauge("run.wall_s").set(perf.wall_s)
     metrics.gauge("run.sim_ns").set(float(duration))
 
@@ -766,7 +1259,9 @@ def run_scenario_sharded(
         events_run=events_run,
         data_pkt_hops=data_pkt_hops,
         perf=perf,
+        fault_counters=fault_counters,
+        fault_incidents=fault_incidents,
         metrics=metrics,
         obs=obs,
-        monitor=None,
+        monitor=merged_monitor,
     )

@@ -25,9 +25,23 @@ unaffected either way because the receiving engine orders deliveries by
 the canonical ``(send_time, exec_sched, src, seq)`` key, not by
 transport arrival order.
 
+Crash safety: every row is bracketed by a *stamp* word (first) and an
+identical *seal* word (last), both encoding ``(epoch_no + 1, row
+index)``.  A reader that finds a mismatched stamp — a stale row from an
+earlier epoch after a writer died mid-batch, or a torn row from a writer
+killed mid-copy — raises :class:`ShmRingIntegrityError` instead of
+decoding garbage into the simulation.  Writers additionally read each
+row back after the copy; a row that does not verify (the segment went
+bad under us) is spilled to the pickled-pipe path per frame and counted
+in :attr:`ShmFrameTransport.integrity_spills`, so a flaky segment
+degrades to the slow path rather than corrupting frames.
+
 Lifecycle: the parent creates the segment *before* forking workers, so
 only the parent ever registers it with the resource tracker; workers
-inherit the mapping and the parent alone closes + unlinks it.
+inherit the mapping and the parent alone closes + unlinks it.  Both
+:meth:`close_local` and :meth:`destroy` are idempotent so the parent can
+register them with ``atexit`` *and* call them from ``finally`` / signal
+handlers without double-free errors.
 """
 
 from __future__ import annotations
@@ -38,10 +52,18 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..sim.packet import PacketType
 
-# Words per encoded frame: 7 header words (arrival, target node, target
-# port, 4-field delivery key) + 20 wire words (packet fields, flow 5-tuple
-# with presence flag).
-ROW_WORDS = 27
+# Words per encoded frame payload: 7 header words (arrival, target node,
+# target port, 4-field delivery key) + 20 wire words (packet fields, flow
+# 5-tuple with presence flag).
+PAYLOAD_WORDS = 27
+
+# Payload plus the integrity stamp (word 0) and seal (last word).
+ROW_WORDS = PAYLOAD_WORDS + 2
+
+# The stamp packs (epoch_no + 1) above the row index, so the row index
+# must fit in this many bits — which also bounds ring capacity.
+_STAMP_INDEX_BITS = 20
+MAX_CAPACITY = 1 << _STAMP_INDEX_BITS
 
 # Rows per ring half.  A ring overflow is not an error — excess frames
 # ride the pipe — but it forfeits the fast path, so size for the largest
@@ -51,6 +73,17 @@ DEFAULT_CAPACITY = 1024
 # In "auto" mode batches smaller than this stay on the pipe: below it the
 # per-batch bookkeeping costs more than pickling a handful of frames.
 SHM_MIN_FRAMES = 8
+
+
+class ShmRingIntegrityError(RuntimeError):
+    """A drained ring row failed its stamp/seal check (torn or stale)."""
+
+
+def _row_stamp(epoch_no: int, index: int) -> int:
+    # +1 so epoch 0 never stamps as 0 — a zeroed (never-written) row must
+    # not validate for any epoch.
+    return ((epoch_no + 1) << _STAMP_INDEX_BITS) | index
+
 
 class ShmFrameTransport:
     """One shared segment holding the parity-split frame rings.
@@ -67,8 +100,20 @@ class ShmFrameTransport:
         ips: Iterable[str],
         capacity: int = DEFAULT_CAPACITY,
     ) -> None:
+        if capacity >= MAX_CAPACITY:
+            raise ValueError(
+                f"ring capacity {capacity} exceeds the stamp's "
+                f"{_STAMP_INDEX_BITS}-bit row-index space ({MAX_CAPACITY - 1})"
+            )
         self.shards = shards
         self.capacity = capacity
+        # Per-process count of rows that failed write-time verification
+        # and were spilled to the pipe.  The segment is fork-shared but
+        # this attribute is not: each worker ships its own delta through
+        # the barrier for the parent's PerfStats.
+        self.integrity_spills = 0
+        self._closed = False
+        self._destroyed = False
         self._node_list = list(dict.fromkeys(node_names))
         self._ip_list = list(dict.fromkeys(ips))
         self._ptype_list = [p.value for p in PacketType]
@@ -92,7 +137,8 @@ class ShmFrameTransport:
     # -- codec --------------------------------------------------------------------
 
     def encode(self, frame: tuple) -> Optional[array]:
-        """27 int64 words for one WireFrame, or None if unrepresentable."""
+        """The int64 payload words for one WireFrame, or None if
+        unrepresentable (stamp/seal are added per row slot at write time)."""
         arrival, node, port, key, wire = frame
         send_time, exec_sched, src, seq = key
         (
@@ -158,7 +204,9 @@ class ShmFrameTransport:
         """Write one epoch's frames into ring ``(src, dst)``.
 
         Returns ``(rows written, frames that must ride the pipe)`` — the
-        leftovers are codec misses plus anything past ring capacity.
+        leftovers are codec misses, anything past ring capacity, and rows
+        that failed the write-back verification (counted in
+        :attr:`integrity_spills`).
         """
         base = self._base(src, dst, epoch_no)
         words = self._words
@@ -168,43 +216,93 @@ class ShmFrameTransport:
             if written >= self.capacity:
                 leftover.append(frame)
                 continue
-            row = self.encode(frame)
-            if row is None:
+            payload = self.encode(frame)
+            if payload is None:
                 leftover.append(frame)
                 continue
+            stamp = _row_stamp(epoch_no, written)
+            row = array("q", (stamp,))
+            row.extend(payload)
+            row.append(stamp)
             offset = base + written * ROW_WORDS
             words[offset : offset + ROW_WORDS] = row
+            # Read-back verify (memoryview/array compare runs at C speed):
+            # a row the segment did not faithfully retain rides the pipe
+            # instead of reaching a peer torn.  The slot is reused for the
+            # next frame.
+            if words[offset : offset + ROW_WORDS] != row:
+                self.integrity_spills += 1
+                leftover.append(frame)
+                continue
             written += 1
         return written, leftover
 
     def read_epoch(self, src: int, dst: int, epoch_no: int, count: int) -> List[tuple]:
-        """Decode ``count`` rows shard ``src`` wrote for ``dst`` at ``epoch_no``."""
+        """Decode ``count`` rows shard ``src`` wrote for ``dst`` at ``epoch_no``.
+
+        Raises :class:`ShmRingIntegrityError` when a row's stamp or seal
+        does not match the expected ``(epoch, index)`` — a stale row left
+        by a dead writer, or a torn row from a writer killed mid-copy.
+        """
         base = self._base(src, dst, epoch_no)
         words = self._words
         decode = self.decode_row
         frames: List[tuple] = []
         for i in range(count):
             offset = base + i * ROW_WORDS
-            frames.append(decode(words[offset : offset + ROW_WORDS].tolist()))
+            row = words[offset : offset + ROW_WORDS].tolist()
+            expected = _row_stamp(epoch_no, i)
+            if row[0] != expected or row[-1] != expected:
+                raise ShmRingIntegrityError(
+                    f"ring ({src}->{dst}) epoch {epoch_no} row {i}: "
+                    f"stamp/seal ({row[0]:#x}, {row[-1]:#x}) != {expected:#x} "
+                    f"(torn or stale row)"
+                )
+            frames.append(decode(row[1:-1]))
         return frames
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close_local(self) -> None:
-        """Drop this process's mapping (parent only; workers just exit)."""
+        """Drop this process's mapping (parent only; workers just exit).
+
+        Idempotent: safe from ``finally`` after an earlier explicit call.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._words.release()
         self._shm.close()
 
     def destroy(self) -> None:
-        """Parent-only: unmap and remove the segment."""
+        """Parent-only: unmap and remove the segment.
+
+        Idempotent and tolerant of a segment already gone, so it can be
+        wired to ``atexit``/signal handlers *and* run from ``finally``
+        on every exit path without stranding or double-freeing.
+        """
         self.close_local()
-        self._shm.unlink()
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
 
 
 def build_transport(
     shards: int, topology, capacity: int = DEFAULT_CAPACITY
 ) -> Optional[ShmFrameTransport]:
-    """A transport sized for ``topology``, or None if shm is unavailable."""
+    """A transport sized for ``topology``, or None if shm is unavailable.
+
+    A capacity outside the stamp's index space is a caller bug and is
+    raised, not silently degraded to the pipe path.
+    """
+    if capacity >= MAX_CAPACITY:
+        raise ValueError(
+            f"ring capacity {capacity} exceeds the stamp's row-index space"
+        )
     try:
         return ShmFrameTransport(
             shards,

@@ -70,25 +70,36 @@ def run_chaos_cell(
     retry: Optional[RetryPolicy],
     loss_rate: float,
     obs=None,
+    shards: int = 1,
 ) -> ChaosOutcome:
     """Run one scenario under one fault plan; never raises.
 
     ``obs`` (an :class:`~repro.obs.pipeline.ObsConfig`) turns tracing on
     for the cell — the chaos trace-invariant tests use it to assert that
     faults *flag* causal chains as degraded but never delete them.
+    ``shards > 1`` runs the cell on the sharded engine (per-shard fault
+    injection; verdicts identical to in-process).
     """
     # Deferred: repro.experiments.runner imports repro.faults.plan.
     from ..experiments.metrics import diagnosis_correct
-    from ..experiments.runner import RunConfig, run_scenario
+    from ..experiments.runner import RunConfig, ScenarioSpec, run_scenario
     from ..workloads import SCENARIO_BUILDERS
 
     outcome = ChaosOutcome(
         scenario=scenario_name, loss_rate=loss_rate, seed=plan.seed
     )
     try:
-        scenario = SCENARIO_BUILDERS[scenario_name](seed=plan.seed)
-        config = RunConfig(faults=plan, retry=retry, obs=obs)
-        result = run_scenario(scenario, config)
+        config = RunConfig(faults=plan, retry=retry, obs=obs, shards=shards)
+        if shards > 1:
+            from ..experiments.shardrun import run_scenario_sharded
+
+            result = run_scenario_sharded(
+                ScenarioSpec(scenario_name, seed=plan.seed), config
+            )
+            scenario = result.scenario
+        else:
+            scenario = SCENARIO_BUILDERS[scenario_name](seed=plan.seed)
+            result = run_scenario(scenario, config)
         primary = result.primary_outcome()
         if primary is not None and primary.diagnosis is not None:
             diagnosis = primary.diagnosis
@@ -114,12 +125,14 @@ def chaos_sweep(
     retry: Optional[RetryPolicy] = RetryPolicy(),
     extra_plan_kwargs: Optional[Dict] = None,
     obs=None,
+    shards: int = 1,
 ) -> List[ChaosOutcome]:
     """Sweep loss rates across scenarios under a fixed seed.
 
     ``extra_plan_kwargs`` lets callers add non-loss faults (DMA failures,
     clock skew, agent restarts) on top of the canonical lossy plan;
-    ``obs`` (an :class:`~repro.obs.pipeline.ObsConfig`) traces every cell.
+    ``obs`` (an :class:`~repro.obs.pipeline.ObsConfig`) traces every cell;
+    ``shards`` runs every cell on the sharded engine.
     """
     outcomes: List[ChaosOutcome] = []
     for loss_rate in loss_rates:
@@ -132,7 +145,9 @@ def chaos_sweep(
             if extra_plan_kwargs:
                 kwargs.update(extra_plan_kwargs)
             plan = FaultPlan(**kwargs)
-            outcomes.append(run_chaos_cell(name, plan, retry, loss_rate, obs=obs))
+            outcomes.append(
+                run_chaos_cell(name, plan, retry, loss_rate, obs=obs, shards=shards)
+            )
     return outcomes
 
 

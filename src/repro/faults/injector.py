@@ -2,23 +2,27 @@
 
 A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
 into per-event decisions.  Every fault category draws from its own
-``random.Random`` stream (seeded from the plan seed and the category
-name), so adding a new category — or a hook that consults one category
-more often — never perturbs the draw sequence of the others.  Combined
-with the simulator's deterministic event order this makes the full
-incident log a pure function of (scenario seed, fault plan).
+``random.Random`` stream keyed by ``(category, entity)`` — the entity is
+the switch (or victim flow) the decision is about — so adding a new
+category, consulting one category more often, *or partitioning the
+fabric across shard workers* never perturbs the draw sequence of the
+others.  Entity keying is what makes sharded chaos deterministic: a
+switch's fault stream is identical whether it is simulated in-process or
+inside any shard worker, so the merged incident log is a pure function
+of (scenario seed, fault plan) at every shard count.
 
 Each decision is recorded twice: as a counter in :attr:`FaultInjector.stats`
 (surfaced through ``PerfStats``/``--perf-json``) and as a
-:class:`FaultIncident` in the ordered incident log (what the determinism
-tests compare).
+:class:`FaultIncident` in the incident log.  ``incident_log()`` renders
+the log in canonical ``(time, where, kind, detail)`` order — the order
+the sharded merge reproduces — which the determinism tests compare.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .plan import FaultPlan
 
@@ -46,26 +50,40 @@ class FaultIncident:
         text = f"t={self.time_ns} {self.kind} @ {self.where}"
         return f"{text} ({self.detail})" if self.detail else text
 
+    def sort_key(self) -> Tuple[int, str, str, str]:
+        return (self.time_ns, self.where, self.kind, self.detail)
+
 
 class FaultInjector:
-    """Draws fault decisions from a plan's seeded category streams."""
+    """Draws fault decisions from a plan's seeded per-entity streams.
 
-    def __init__(self, plan: FaultPlan) -> None:
+    ``shard_id`` is provenance only: it never enters a seed string, so a
+    shard worker's decisions for its switches match the single-process
+    run exactly.  The one genuinely fabric-global stream — agent restarts
+    — is keyed by a fixed entity (``"agent"``); every shard draws the
+    identical sequence (stall ticks fire on the same cadence in every
+    worker), so restarts and blackout windows agree across the fleet and
+    the merge keeps a single copy.
+    """
+
+    def __init__(self, plan: FaultPlan, shard_id: Optional[int] = None) -> None:
         self.plan = plan
+        self.shard_id = shard_id
         self.stats: Dict[str, int] = {}
         self.incidents: List[FaultIncident] = []
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: Dict[Tuple[str, str], random.Random] = {}
         self._skew: Dict[str, int] = {}
 
     # -- stream plumbing ------------------------------------------------------
 
-    def _stream(self, category: str) -> random.Random:
-        rng = self._streams.get(category)
+    def _stream(self, category: str, entity: str) -> random.Random:
+        key = (category, entity)
+        rng = self._streams.get(key)
         if rng is None:
             # String seeds hash via SHA-512 inside random.seed(): stable
             # across processes and interpreter runs (unlike hash()).
-            rng = random.Random(f"{self.plan.seed}/{category}")
-            self._streams[category] = rng
+            rng = random.Random(f"{self.plan.seed}/{category}/{entity}")
+            self._streams[key] = rng
         return rng
 
     def _record(self, time_ns: int, kind: str, where: str, detail: str = "") -> None:
@@ -73,8 +91,16 @@ class FaultInjector:
         self.incidents.append(FaultIncident(time_ns, kind, where, detail))
 
     def incident_log(self) -> List[str]:
-        """The ordered, human-readable incident log (determinism anchor)."""
-        return [incident.describe() for incident in self.incidents]
+        """The canonically ordered, human-readable incident log.
+
+        Sorted by ``(time, where, kind, detail)`` rather than raw record
+        order so a merged multi-shard log and a single-process log are
+        string-identical (the determinism anchor).
+        """
+        return [
+            incident.describe()
+            for incident in sorted(self.incidents, key=FaultIncident.sort_key)
+        ]
 
     def count(self, kind: str, where: str = "-", time_ns: int = 0, detail: str = "") -> None:
         """Record a pipeline-reliability event (retry, abandonment) that is
@@ -93,11 +119,11 @@ class FaultInjector:
         """
         plan = self.plan
         if plan.polling_loss_rate > 0.0:
-            if self._stream("polling_loss").random() < plan.polling_loss_rate:
+            if self._stream("polling_loss", switch_name).random() < plan.polling_loss_rate:
                 self._record(now, "polling_packet_lost", switch_name)
                 return False
         if plan.polling_corrupt_rate > 0.0:
-            if self._stream("polling_corrupt").random() < plan.polling_corrupt_rate:
+            if self._stream("polling_corrupt", switch_name).random() < plan.polling_corrupt_rate:
                 self._record(now, "polling_packet_corrupted", switch_name)
                 return False
         return True
@@ -108,11 +134,11 @@ class FaultInjector:
         """Outcome of one register DMA read attempt."""
         plan = self.plan
         if plan.dma_failure_rate > 0.0:
-            if self._stream("dma_fail").random() < plan.dma_failure_rate:
+            if self._stream("dma_fail", switch_name).random() < plan.dma_failure_rate:
                 self._record(now, "dma_read_failed", switch_name)
                 return DMA_FAIL
         if plan.dma_stale_rate > 0.0:
-            if self._stream("dma_stale").random() < plan.dma_stale_rate:
+            if self._stream("dma_stale", switch_name).random() < plan.dma_stale_rate:
                 self._record(
                     now, "dma_read_stale", switch_name,
                     f"age={plan.dma_stale_age_ns}ns",
@@ -126,16 +152,16 @@ class FaultInjector:
         """Outcome for one report packet; returns ``(fate, delay_ns)``."""
         plan = self.plan
         if plan.report_loss_rate > 0.0:
-            if self._stream("report_loss").random() < plan.report_loss_rate:
+            if self._stream("report_loss", switch_name).random() < plan.report_loss_rate:
                 self._record(now, "report_lost", switch_name)
                 return REPORT_LOST, 0
         if plan.report_truncate_rate > 0.0:
-            if self._stream("report_truncate").random() < plan.report_truncate_rate:
+            if self._stream("report_truncate", switch_name).random() < plan.report_truncate_rate:
                 self._record(now, "report_truncated", switch_name)
                 return REPORT_TRUNCATED, 0
         if plan.report_delay_rate > 0.0:
-            if self._stream("report_delay").random() < plan.report_delay_rate:
-                delay = self._stream("report_delay_ns").randrange(
+            if self._stream("report_delay", switch_name).random() < plan.report_delay_rate:
+                delay = self._stream("report_delay_ns", switch_name).randrange(
                     1, max(2, plan.report_delay_max_ns)
                 )
                 self._record(now, "report_delayed", switch_name, f"delay={delay}ns")
@@ -149,7 +175,7 @@ class FaultInjector:
         plan = self.plan
         if plan.agent_restart_rate <= 0.0:
             return False
-        if self._stream("agent_restart").random() < plan.agent_restart_rate:
+        if self._stream("agent_restart", "agent").random() < plan.agent_restart_rate:
             self._record(
                 now, "agent_restarted", "agent",
                 f"blackout={plan.agent_restart_blackout_ns}ns",
@@ -157,11 +183,15 @@ class FaultInjector:
             return True
         return False
 
-    def retry_jitter(self, max_ns: int) -> int:
-        """Seeded jitter for the agent's retransmission backoff."""
+    def retry_jitter(self, max_ns: int, victim: str = "-") -> int:
+        """Seeded jitter for one victim's retransmission backoff.
+
+        Keyed by the victim flow so concurrent victims homed on different
+        shards draw the same jitter they would draw in-process.
+        """
         if max_ns <= 0:
             return 0
-        return self._stream("retry_jitter").randrange(0, max_ns)
+        return self._stream("retry_jitter", victim).randrange(0, max_ns)
 
     # -- clocks ----------------------------------------------------------------
 
@@ -184,9 +214,45 @@ class FaultInjector:
         return skew
 
 
-def make_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+def make_injector(
+    plan: Optional[FaultPlan], shard_id: Optional[int] = None
+) -> Optional[FaultInjector]:
     """Build an injector, or ``None`` for an absent/no-op plan — call sites
     guard on ``None`` so the fault-free hot path pays a single comparison."""
     if plan is None or not plan.enabled:
         return None
-    return FaultInjector(plan)
+    return FaultInjector(plan, shard_id=shard_id)
+
+
+def merge_shard_incidents(
+    per_shard: Sequence[Optional[Iterable[FaultIncident]]],
+) -> Tuple[List[FaultIncident], Dict[str, int]]:
+    """Canonically merge per-shard incident logs into one fabric-wide log.
+
+    Every incident is entity-homed on exactly one shard — except
+    ``agent_restarted``, which every shard draws identically from the
+    shared agent stream; those are taken from the first shard that
+    reports any so the merged log holds a single copy.  The merge sorts
+    by :meth:`FaultIncident.sort_key` (matching the single-process
+    ``incident_log()`` order) and recomputes the stats counters from the
+    merged log, so ``shards=N`` and ``shards=1`` agree string-for-string
+    and count-for-count.  ``None`` entries (lost shards on a degraded
+    run) are skipped.
+    """
+    merged: List[FaultIncident] = []
+    for incidents in per_shard:
+        if incidents is None:
+            continue
+        merged.extend(i for i in incidents if i.kind != "agent_restarted")
+    for incidents in per_shard:
+        if incidents is None:
+            continue
+        restarts = [i for i in incidents if i.kind == "agent_restarted"]
+        if restarts:
+            merged.extend(restarts)
+            break
+    merged.sort(key=FaultIncident.sort_key)
+    stats: Dict[str, int] = {}
+    for incident in merged:
+        stats[incident.kind] = stats.get(incident.kind, 0) + 1
+    return merged, stats

@@ -1,0 +1,109 @@
+"""Deterministic merge of per-shard fabric monitors.
+
+The sharded runner (:mod:`repro.experiments.shardrun`) gives every
+worker its own :class:`~repro.monitor.monitor.FabricMonitor`: all alert
+rules are per-subject (a port, a switch's ECN counter, a host's RTT),
+and every subject lives in exactly one shard, so a worker's rule
+evaluations are identical to the single-process run's for its subjects.
+What the parent needs afterwards is one object that *looks like* the
+single-process monitor to everything downstream — ``RunSummary`` reads
+``.alerts`` / ``.engine.alerts_by_category()`` / ``.timeline.incidents``
+and the diagnosis step calls ``.timeline.record_diagnosis`` — built from
+the per-shard alert lists in a canonical order that does not depend on
+shard count or barrier timing.
+
+Canonical alert order: ``(time_ns, category, rule, subject, value,
+threshold)``.  Same-instant alerts from one shard arrive in rule-table
+order, but sorting by the full tuple makes the merged sequence a pure
+function of the alert *set*, which is itself a pure function of
+(scenario seed, monitor config) — so ``shards=N`` and ``shards=1`` agree
+alert-for-alert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .rules import Alert, RuleEngine
+from .timeline import IncidentTimeline
+
+__all__ = ["alert_sort_key", "MergedMonitor"]
+
+
+def alert_sort_key(alert: Alert) -> Tuple:
+    return (
+        alert.time_ns,
+        alert.category,
+        alert.rule,
+        alert.subject,
+        alert.value,
+        alert.threshold,
+    )
+
+
+class MergedMonitor:
+    """A monitor facade over canonically merged per-shard alert streams.
+
+    Duck-types the slice of :class:`FabricMonitor` the runner and
+    summaries consume: ``alerts``, ``engine``, ``timeline``,
+    ``counters()`` and a no-op ``finish()``.  The engine is a real
+    :class:`RuleEngine` (no rules, alerts injected) and the timeline a
+    real :class:`IncidentTimeline` with the merged alerts replayed in
+    canonical order — incident windows are pure time predicates, so
+    replay order only has to be deterministic, which the sort makes it.
+    """
+
+    def __init__(
+        self,
+        shard_alerts: Sequence[Optional[Iterable[Alert]]],
+        shard_counters: Sequence[Optional[Dict[str, Any]]] = (),
+    ) -> None:
+        merged: List[Alert] = []
+        for alerts in shard_alerts:
+            if alerts:
+                merged.extend(alerts)
+        merged.sort(key=alert_sort_key)
+        self.engine = RuleEngine()
+        self.engine.alerts.extend(merged)
+        self.timeline = IncidentTimeline()
+        for alert in merged:
+            self.timeline.record_alert(alert)
+        self._shard_counters = [c for c in shard_counters if c]
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return self.engine.alerts
+
+    def finish(self, now_ns: Optional[int] = None) -> None:
+        """Per-shard monitors already finished inside their workers."""
+
+    def counters(self) -> Dict[str, Any]:
+        """Same shape as :meth:`FabricMonitor.counters`, fleet-merged.
+
+        Disjoint-subject gauges (tracked ports/hosts) and event tallies
+        sum across shards; ``samples`` takes the max — every shard ticks
+        on the same cadence, so the per-shard counts are equal and a sum
+        would misread as N× the sampling work.  Alert and incident
+        tallies are recomputed from the merged state, not summed, so
+        they match the canonical merge exactly.
+        """
+        summed = {"tracked_ports": 0, "tracked_hosts": 0, "samples": 0}
+        sketch: Dict[str, Any] = {}
+        for counters in self._shard_counters:
+            summed["tracked_ports"] += int(counters.get("tracked_ports", 0))
+            summed["tracked_hosts"] += int(counters.get("tracked_hosts", 0))
+            summed["samples"] = max(summed["samples"], int(counters.get("samples", 0)))
+            for key, value in (counters.get("sketch") or {}).items():
+                if isinstance(value, (int, float)):
+                    sketch[key] = sketch.get(key, 0) + value
+                else:
+                    sketch.setdefault(key, value)
+        return {
+            "samples": summed["samples"],
+            "alerts_total": len(self.engine.alerts),
+            "incidents": len(self.timeline.incidents),
+            "tracked_ports": summed["tracked_ports"],
+            "tracked_hosts": summed["tracked_hosts"],
+            "alerts": self.engine.alerts_by_category(),
+            "sketch": sketch,
+        }

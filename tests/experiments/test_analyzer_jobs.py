@@ -64,6 +64,64 @@ def test_prewarm_path_appears_in_profile():
     assert "replay_prewarm" in result.perf.stages
 
 
+def test_more_jobs_than_victims_is_harmless():
+    """jobs far above the concurrent-victim count must not change output
+    (the pool clamps its worker count to the pending list)."""
+    serial = _outcomes("in-loop-deadlock", 1)
+    fanned = _outcomes("in-loop-deadlock", 8)
+    assert len(fanned.outcomes) == len(serial.outcomes)
+    for a, b in zip(serial.outcomes, fanned.outcomes):
+        assert (a.diagnosis is None) == (b.diagnosis is None)
+        if a.diagnosis is not None:
+            assert b.diagnosis.describe() == a.diagnosis.describe()
+
+
+class TestAnalyzerSupervision:
+    """A dead or hung pool worker forfeits the pool; the parent recovers
+    every unfinished victim serially — identical outcomes, bounded time."""
+
+    @pytest.fixture
+    def abort_hook(self):
+        from repro.experiments import analyzerpool
+
+        def install(fn):
+            analyzerpool._TEST_ANALYZER_ABORT = fn
+
+        yield install
+        analyzerpool._TEST_ANALYZER_ABORT = None
+
+    def _run(self, jobs=2, timeout=None):
+        spec = ScenarioSpec("in-loop-deadlock", seed=1)
+        return run_scenario(
+            spec.build(),
+            RunConfig(analyzer_jobs=jobs, shard_timeout_s=timeout),
+        )
+
+    def test_sigkilled_worker_victim_recovered_serially(self, abort_hook):
+        serial = self._run(jobs=1)
+        abort_hook(lambda idx: "sigkill" if idx == 0 else None)
+        fanned = self._run(jobs=2, timeout=30)
+        assert len(fanned.outcomes) == len(serial.outcomes)
+        for a, b in zip(serial.outcomes, fanned.outcomes):
+            assert (a.diagnosis is None) == (b.diagnosis is None)
+            if a.diagnosis is not None:
+                assert b.diagnosis.describe() == a.diagnosis.describe()
+        assert "analyzer_recover" in fanned.perf.stages
+
+    def test_hung_worker_bounded_and_recovered(self, abort_hook):
+        import time
+
+        serial = self._run(jobs=1)
+        abort_hook(lambda idx: "hang" if idx == 1 else None)
+        start = time.monotonic()
+        fanned = self._run(jobs=2, timeout=2.0)
+        assert time.monotonic() - start < 60
+        for a, b in zip(serial.outcomes, fanned.outcomes):
+            if a.diagnosis is not None:
+                assert b.diagnosis.describe() == a.diagnosis.describe()
+        assert "analyzer_recover" in fanned.perf.stages
+
+
 def test_analyzer_service_jobs_match_serial():
     """The continuous service path with jobs=2 diagnoses identically."""
 

@@ -1,0 +1,208 @@
+"""Worker supervision: watchdog, fallbacks, and leak-free cleanup.
+
+The chaos contract for the parallel planes: a shard worker that dies
+(SIGKILL), hangs, or poisons its shm ring must never hang the parent,
+never strand a ``/dev/shm`` segment or a child process, and never
+produce a *wrong* full-confidence verdict.  Depending on
+``REPRO_SHARD_FALLBACK`` the parent either reruns serially
+(byte-identical result), finishes the survivors (degraded diagnosis), or
+raises.
+"""
+
+import glob
+import multiprocessing
+import time
+
+import pytest
+
+from repro.experiments import (
+    RunConfig,
+    ScenarioSpec,
+    run_scenario,
+    run_scenario_sharded,
+)
+from repro.experiments import shardrun
+from repro.experiments.supervise import (
+    resolve_fallback,
+    resolve_timeout,
+    resolve_transport_mode,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard supervision tests need the fork start method",
+)
+
+SPEC = ScenarioSpec("pfc-storm", seed=7)
+
+
+def _diagnoses(result):
+    return [
+        o.diagnosis.describe() if o.diagnosis is not None else None
+        for o in result.outcomes
+    ]
+
+
+@pytest.fixture
+def abort_hook():
+    """Install a worker-abort hook for the test, always uninstall after."""
+
+    def install(fn):
+        shardrun._TEST_WORKER_ABORT = fn
+
+    yield install
+    shardrun._TEST_WORKER_ABORT = None
+
+
+@pytest.fixture
+def leak_check():
+    """Assert no shm segments and no orphaned children survive the test."""
+    before = set(glob.glob("/dev/shm/*"))
+    yield
+    # join_all: any worker the runner failed to reap would show up here.
+    assert multiprocessing.active_children() == []
+    assert set(glob.glob("/dev/shm/*")) - before == set()
+
+
+class TestSerialFallback:
+    def test_sigkilled_worker_falls_back_byte_identical(
+        self, abort_hook, leak_check
+    ):
+        """SIGKILL mid-run -> serial rerun, identical diagnoses, no leaks."""
+        serial = run_scenario(SPEC.build(), RunConfig())
+        abort_hook(lambda sid, ep: "sigkill" if (sid == 1 and ep == 3) else None)
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=30)
+        )
+        assert _diagnoses(result) == _diagnoses(serial)
+        supervision = result.perf.supervision
+        assert supervision["fallback_ran"] == "serial"
+        assert supervision["lost_shards"] == [1]
+        assert supervision["failure_kind"] == "worker"
+
+    def test_worker_killed_before_first_barrier_leaves_no_segment(
+        self, abort_hook, leak_check
+    ):
+        """The fork-to-first-barrier window must not strand the segment."""
+        serial = run_scenario(SPEC.build(), RunConfig())
+        abort_hook(lambda sid, ep: "sigkill" if (sid == 0 and ep == 0) else None)
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=30)
+        )
+        assert _diagnoses(result) == _diagnoses(serial)
+        assert result.perf.supervision["fallback_ran"] == "serial"
+
+    def test_hung_worker_is_bounded_by_watchdog(self, abort_hook, leak_check):
+        """A wedged worker ends the run within the timeout, not never."""
+        serial = run_scenario(SPEC.build(), RunConfig())
+        abort_hook(lambda sid, ep: "hang" if (sid == 1 and ep == 5) else None)
+        start = time.monotonic()
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=2.0)
+        )
+        # Watchdog (2 s) + serial rerun; generous bound for slow CI.
+        assert time.monotonic() - start < 60
+        assert _diagnoses(result) == _diagnoses(serial)
+        assert result.perf.supervision["fallback_ran"] == "serial"
+
+    def test_corrupted_ring_is_a_transport_failure(self, abort_hook, leak_check):
+        """A torn/stale ring row is detected and classified, then recovered."""
+        serial = run_scenario(SPEC.build(), RunConfig())
+        abort_hook(
+            lambda sid, ep: "corrupt-ring" if (sid == 1 and ep >= 10) else None
+        )
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=30)
+        )
+        assert _diagnoses(result) == _diagnoses(serial)
+        assert result.perf.supervision["failure_kind"] == "transport"
+
+
+class TestFailMode:
+    def test_fail_mode_raises(self, abort_hook, leak_check, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_FALLBACK", "fail")
+        abort_hook(lambda sid, ep: "sigkill" if (sid == 0 and ep == 2) else None)
+        with pytest.raises(RuntimeError, match="REPRO_SHARD_FALLBACK=fail"):
+            run_scenario_sharded(SPEC, RunConfig(shards=2, shard_timeout_s=30))
+
+
+class TestDegradeMode:
+    def test_degrade_returns_partial_never_full_confidence(
+        self, abort_hook, leak_check, monkeypatch
+    ):
+        """Losing a pod late yields a diagnosis that admits what's missing."""
+        clean = run_scenario_sharded(SPEC, RunConfig(shards=2))
+        late = clean.perf.barrier_epochs - 3
+        assert late > 0
+        monkeypatch.setenv("REPRO_SHARD_FALLBACK", "degrade")
+        # Shard 1 holds remote telemetry for this victim; shard 0 keeps the
+        # trigger, so a diagnosis is still produced — degraded.
+        abort_hook(
+            lambda sid, ep: "sigkill" if (sid == 1 and ep == late) else None
+        )
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=30)
+        )
+        supervision = result.perf.supervision
+        assert supervision["fallback_ran"] == "degrade"
+        assert supervision["lost_shards"] == [1]
+        assert any("shard_worker_lost" in line for line in result.fault_incidents)
+        produced = [o.diagnosis for o in result.outcomes if o.diagnosis is not None]
+        assert produced, "survivor shard held the trigger; expected a verdict"
+        for diagnosis in produced:
+            assert diagnosis.confidence != "full"
+            assert diagnosis.completeness < 1.0
+            assert diagnosis.missing_switches
+
+    def test_degrade_with_victim_shard_lost_gives_no_verdict(
+        self, abort_hook, leak_check, monkeypatch
+    ):
+        """Losing the victim's own pod early means no verdict — which is
+        still never a wrong full-confidence one."""
+        monkeypatch.setenv("REPRO_SHARD_FALLBACK", "degrade")
+        abort_hook(lambda sid, ep: "sigkill" if (sid == 0 and ep == 3) else None)
+        result = run_scenario_sharded(
+            SPEC, RunConfig(shards=2, shard_timeout_s=30)
+        )
+        assert result.perf.supervision["fallback_ran"] == "degrade"
+        for outcome in result.outcomes:
+            if outcome.diagnosis is not None:
+                assert outcome.diagnosis.confidence != "full"
+
+
+class TestPolicyValidation:
+    def test_unknown_transport_env_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "shmem")
+        with pytest.raises(ValueError, match="REPRO_SHARD_TRANSPORT"):
+            resolve_transport_mode()
+        with pytest.raises(ValueError, match="REPRO_SHARD_TRANSPORT"):
+            run_scenario_sharded(SPEC, RunConfig(shards=2))
+
+    def test_unknown_fallback_env_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_FALLBACK", "retry-forever")
+        with pytest.raises(ValueError, match="REPRO_SHARD_FALLBACK"):
+            resolve_fallback()
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "soon"])
+    def test_bad_timeout_env_is_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="REPRO_SHARD_TIMEOUT"):
+            resolve_timeout()
+
+    def test_timeout_precedence_config_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "120")
+        assert resolve_timeout(5.0) == 5.0
+        assert resolve_timeout() == 120.0
+        monkeypatch.delenv("REPRO_SHARD_TIMEOUT")
+        assert resolve_timeout() == 60.0
+
+    def test_nonpositive_config_timeout_is_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_timeout(0)
+
+    @pytest.mark.parametrize("value", ["0", "-2.5"])
+    def test_cli_rejects_nonpositive_shard_timeout(self, value):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "pfc-storm", "--shard-timeout", value])

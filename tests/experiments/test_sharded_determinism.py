@@ -69,13 +69,22 @@ def test_unsupported_features_are_rejected():
     spec = ScenarioSpec("incast-backpressure", seed=1)
     with pytest.raises(ValueError, match="shards"):
         run_scenario_sharded(
-            spec, RunConfig(shards=2, faults=FaultPlan(seed=1, polling_loss_rate=0.1))
-        )
-    with pytest.raises(ValueError, match="shards"):
-        run_scenario_sharded(
             spec,
             RunConfig(shards=2, obs=ObsConfig(trace=True, sink="ring", sim_events=True)),
         )
+
+
+def test_zero_fault_plan_matches_fault_free_run():
+    """An all-zero FaultPlan must not perturb the sharded fast path."""
+    spec = ScenarioSpec("incast-backpressure", seed=1)
+    obs = ObsConfig(trace=True, sink="ring")
+    plain = run_scenario_sharded(spec, RunConfig(obs=obs, shards=2))
+    zeroed = run_scenario_sharded(
+        spec, RunConfig(obs=obs, shards=2, faults=FaultPlan(seed=99))
+    )
+    assert _describe(zeroed) == _describe(plain)
+    assert zeroed.fault_incidents == [] and zeroed.fault_counters == {}
+    assert _canonical_trace(zeroed) == _canonical_trace(plain)
 
 
 def test_sharded_perf_accounting_present():

@@ -20,8 +20,11 @@ from repro.experiments import (
 )
 from repro.experiments import shardrun
 from repro.experiments.shmring import (
+    MAX_CAPACITY,
+    PAYLOAD_WORDS,
     ROW_WORDS,
     ShmFrameTransport,
+    ShmRingIntegrityError,
     build_transport,
 )
 from repro.obs import ObsConfig, canonical_jsonl
@@ -105,7 +108,7 @@ class TestCodec:
             (PacketType.DATA.value, None, 1000, 3, 7, 4,
              True, False, 0, 0, 0, 0, 0, False, 2),
         )
-        assert len(transport.encode(frame)) == ROW_WORDS
+        assert len(transport.encode(frame)) == PAYLOAD_WORDS
 
     def test_unknown_vocabulary_misses_to_pipe(self, transport):
         stranger = (
@@ -155,6 +158,46 @@ class TestCodec:
         transport.write_epoch(1, 0, 5, odd)  # other half: must not clobber
         assert transport.read_epoch(1, 0, 4, 2) == even
         assert transport.read_epoch(1, 0, 5, 1) == odd
+
+    def test_stale_row_from_earlier_epoch_is_detected(self, transport):
+        """A row left by a dead writer two epochs back must not decode."""
+        frame = (
+            5, "SW0", 2, (1, 2, "H0", 3),
+            (PacketType.DATA.value, None, 1000, 3, 7, 4,
+             True, False, 0, 0, 0, 0, 0, False, 2),
+        )
+        transport.write_epoch(0, 1, 0, [frame])
+        # Same parity half, later epoch: the stamp no longer matches.
+        with pytest.raises(ShmRingIntegrityError, match="stale"):
+            transport.read_epoch(0, 1, 2, 1)
+
+    def test_torn_row_is_detected(self, transport):
+        """A seal that disagrees with the stamp means a writer died
+        mid-copy; the reader must refuse the row."""
+        frame = (
+            5, "SW0", 2, (1, 2, "H0", 3),
+            (PacketType.DATA.value, None, 1000, 3, 7, 4,
+             True, False, 0, 0, 0, 0, 0, False, 2),
+        )
+        transport.write_epoch(0, 1, 0, [frame])
+        transport._words[transport._base(0, 1, 0) + ROW_WORDS - 1] = 0
+        with pytest.raises(ShmRingIntegrityError):
+            transport.read_epoch(0, 1, 0, 1)
+
+    def test_never_written_row_never_validates(self, transport):
+        """All-zero memory must not validate for any epoch (stamp packs
+        epoch+1, so epoch 0 does not stamp as 0)."""
+        for epoch in (0, 1, 2):
+            with pytest.raises(ShmRingIntegrityError):
+                transport.read_epoch(0, 1, epoch, 1)
+
+    def test_capacity_beyond_stamp_index_space_is_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShmFrameTransport(2, NODES, IPS, capacity=MAX_CAPACITY)
+        from repro.topology.builders import build_fat_tree
+
+        with pytest.raises(ValueError, match="capacity"):
+            build_transport(2, build_fat_tree(4), capacity=MAX_CAPACITY)
 
     def test_build_transport_interns_topology_vocabulary(self):
         from repro.topology.builders import build_fat_tree
@@ -225,5 +268,33 @@ def test_auto_mode_reports_stage_and_counters(monkeypatch):
     _, _, perf = _run_sharded(monkeypatch, "incast-backpressure", "auto")
     carried = perf.transport["shm_frames"] + perf.transport["pipe_frames"]
     assert carried > 0
+    assert perf.transport["integrity_spills"] == 0  # healthy segment
     assert "shard_run" in perf.stages
     assert perf.stages["shard_run"]["max_wall_s"] <= perf.stages["shard_run"]["wall_s"]
+
+
+def test_transport_counters_reach_perf_json(monkeypatch, tmp_path, capsys):
+    """--perf-json on a sharded run records the transport accounting,
+    including the overflow-spill and integrity-spill counters."""
+    import json
+    import os
+
+    from repro.cli import main
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "shm")
+    monkeypatch.setattr(
+        shardrun,
+        "build_transport",
+        lambda shards, topo: build_transport(shards, topo, capacity=4),
+    )
+    out = tmp_path / "perf.json"
+    rc = main(["run", "pfc-storm", "--shards", "2", "--perf-json", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    transport = payload["runs"][0]["transport"]
+    assert transport["mode"] == "shm"
+    assert transport["shm_fallback_frames"] > 0
+    assert transport["pipe_frames"] == transport["shm_fallback_frames"]
+    assert transport["integrity_spills"] == 0
+    assert payload["runs"][0]["supervision"]["fallback"] == "serial"

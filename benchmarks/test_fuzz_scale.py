@@ -1,0 +1,109 @@
+"""Fuzzing-plane gate: campaign throughput and coverage discovery.
+
+Two records land in ``BENCH_perf.json``:
+
+- ``fuzz.campaign`` — a fixed-seed budget-12 campaign: evaluations/s,
+  distinct coverage points, findings, and the interest kinds it
+  surfaced.  The gate is qualitative — the seed-probe deck alone must
+  already put a beyond-paper-class find on the board — plus a generous
+  throughput floor so a pathological slowdown of the evaluate path
+  (each evaluation is a full simulate+diagnose+monitor cycle) cannot
+  land silently.
+- ``fuzz.jobs_parity`` — the same campaign across 2 fork workers must
+  retain byte-identical coverage (the determinism contract, measured
+  here so the perf artifact records the pooled rate too).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import (
+    BENCH_PERF_FILENAME,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.fuzz import FuzzConfig, run_fuzz
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+BUDGET = 12
+# Each evaluation simulates ~4ms of fabric time and runs the full
+# diagnosis; the reference machine does ~2/s serial.  The floor only
+# catches order-of-magnitude regressions.
+FLOOR_EVALS_PER_SEC = 0.3
+STRICT_EVALS_PER_SEC = 1.0
+
+
+def _write_section(key, record):
+    payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
+    payload.setdefault("fuzz", {})[key] = record
+    write_bench_json(REPO_ROOT / BENCH_PERF_FILENAME, payload)
+
+
+def _snapshot(report):
+    return [(e.fingerprint, e.interest) for e in report.retained]
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_fuzz_campaign_discovers_coverage():
+    start = time.perf_counter()
+    report = run_fuzz(FuzzConfig(budget=BUDGET, seed=1))
+    wall = time.perf_counter() - start
+
+    kinds = sorted({k for e in report.findings for k in e.interest})
+    verdicts = sorted({e.observation.verdict for e in report.findings})
+    rate = report.evaluated / wall
+    record = {
+        "budget": BUDGET,
+        "seed": 1,
+        "wall_s": round(wall, 3),
+        "evals_per_sec": round(rate, 3),
+        "coverage_points": len(report.retained),
+        "findings": len(report.findings),
+        "interest_kinds": kinds,
+        "verdicts": verdicts,
+    }
+    _write_section("campaign", record)
+    print_table(
+        f"Fuzz campaign (budget {BUDGET}, seed 1)",
+        ("evals/s", "coverage", "findings", "interest kinds"),
+        [(f"{rate:.2f}", len(report.retained), len(report.findings),
+          ", ".join(kinds))],
+    )
+    assert "beyond-paper-class" in kinds, (
+        "the seed-probe deck must surface a beyond-paper-class scenario"
+    )
+    assert "contention-masked-pfc-storm" in verdicts
+    floor = STRICT_EVALS_PER_SEC if STRICT else FLOOR_EVALS_PER_SEC
+    assert rate >= floor, (
+        f"campaign rate {rate:.2f} evals/s below the {floor} floor"
+    )
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_fuzz_jobs_parity_and_pooled_rate():
+    serial = run_fuzz(FuzzConfig(budget=BUDGET, seed=1, jobs=1))
+    start = time.perf_counter()
+    pooled = run_fuzz(FuzzConfig(budget=BUDGET, seed=1, jobs=2))
+    wall = time.perf_counter() - start
+
+    identical = _snapshot(serial) == _snapshot(pooled)
+    assert identical, "2-worker campaign diverged from the serial corpus"
+    record = {
+        "budget": BUDGET,
+        "jobs": 2,
+        "wall_s": round(wall, 3),
+        "evals_per_sec": round(pooled.evaluated / wall, 3),
+        "coverage_identical": True,
+    }
+    _write_section("jobs_parity", record)
+    print_table(
+        "Fuzz fork-pool parity (2 workers)",
+        ("evals/s", "coverage identical"),
+        [(f"{record['evals_per_sec']:.2f}", identical)],
+    )

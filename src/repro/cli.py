@@ -11,6 +11,8 @@ Usage::
                                       [--prom m.prom] [--jsonl snap.jsonl]
                                       [--html dash.html]
     python -m repro chaos [--loss-rates 0 0.05 0.1] [--chaos-seed N]
+    python -m repro fuzz [--budget N] [--seed N] [--jobs N]
+                         [--minimize] [--corpus DIR]
 
 ``run`` builds the scenario, attaches the chosen diagnosis system, runs
 the simulation and prints the paper-style diagnosis report (optionally
@@ -21,7 +23,8 @@ polling rounds to epoch reads to verdict — of every diagnosis.
 renders the text dashboard plus the incident timeline (exit 3 when no
 alert fired).  ``chaos`` sweeps control-path loss across the anomaly
 scenarios under a seeded fault plan and reports how gracefully diagnosis
-degrades.
+degrades.  ``fuzz`` runs the coverage-guided scenario fuzzer and writes
+minimized finding reproducers to the persistent corpus.
 """
 
 from __future__ import annotations
@@ -76,6 +79,34 @@ def _rate(text: str) -> float:
     if not 0.0 <= value <= 1.0:
         raise argparse.ArgumentTypeError(f"rate must be in [0, 1], got {value}")
     return value
+
+
+def _seed32(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if not 0 <= value < 2**32:
+        raise argparse.ArgumentTypeError(
+            f"seed must be in [0, 2**32), got {value}"
+        )
+    return value
+
+
+def _corpus_dir(text: str) -> str:
+    import os
+
+    path = os.path.expanduser(text)
+    if os.path.exists(path) and not os.path.isdir(path):
+        raise argparse.ArgumentTypeError(
+            f"corpus path exists and is not a directory: {text!r}"
+        )
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"corpus parent directory does not exist: {parent!r}"
+        )
+    return path
 
 
 def _resolve_scenario_name(args: argparse.Namespace) -> Optional[str]:
@@ -247,6 +278,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--shards 1)")
     chaos.add_argument("--json", metavar="FILE",
                        help="write per-cell outcomes as JSON")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing beyond the paper's five "
+             "anomaly classes",
+    )
+    fuzz.add_argument("--budget", type=_positive_int, default=100,
+                      help="total scenario evaluations (default 100)")
+    fuzz.add_argument("--seed", type=_seed32, default=1,
+                      help="master fuzz seed; the whole campaign is a pure "
+                           "function of it (default 1)")
+    fuzz.add_argument("--jobs", type=_positive_int, default=1,
+                      help="evaluation worker processes (results identical "
+                           "to --jobs 1)")
+    fuzz.add_argument("--generation", type=_positive_int, default=8,
+                      help="evaluations composed per batch (default 8)")
+    fuzz.add_argument("--minimize", action="store_true",
+                      help="delta-debug each finding to a minimal "
+                           "reproducer before reporting/saving it")
+    fuzz.add_argument("--corpus", type=_corpus_dir, metavar="DIR",
+                      help="write finding reproducers (genome + expected "
+                           "fingerprint) as JSON under DIR")
     return parser
 
 
@@ -593,6 +646,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import (
+        FuzzConfig,
+        entry_from_evaluation,
+        evaluate_genome,
+        minimize,
+        run_fuzz,
+        save_entry,
+    )
+
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        generation=args.generation,
+    )
+    suffix = f" across {config.jobs} workers" if config.jobs > 1 else ""
+    print(f"fuzzing: budget {config.budget}, seed {config.seed}, "
+          f"generation {config.generation}{suffix}")
+
+    def _progress(evaluated: int, report) -> None:
+        print(f"  {evaluated:>4d}/{config.budget} evaluated, "
+              f"{len(report.retained)} coverage points, "
+              f"{len(report.findings)} findings")
+
+    report = run_fuzz(config, progress=_progress)
+
+    findings = report.findings
+    print(f"\n{report.evaluated} scenarios evaluated: "
+          f"{len(report.retained)} distinct coverage points, "
+          f"{len(findings)} findings")
+    if args.minimize and findings:
+        run_config = config.run_config()
+        minimized = []
+        for evaluation in findings:
+            print(f"  minimizing {evaluation.observation.verdict} "
+                  f"[{evaluation.fingerprint[:10]}] ...")
+            genome = minimize(
+                evaluation.genome, evaluation.fingerprint,
+                run_config=run_config,
+            )
+            minimized.append(evaluate_genome(genome, run_config))
+        findings = minimized
+
+    header = f"{'verdict':36s} {'fingerprint':>12s}  interest"
+    print("\n" + header)
+    print("-" * len(header))
+    for evaluation in findings:
+        print(f"{evaluation.observation.verdict:36s} "
+              f"{evaluation.fingerprint[:12]:>12s}  "
+              f"{', '.join(evaluation.interest)}")
+
+    if args.corpus:
+        provenance = {
+            "budget": config.budget,
+            "seed": config.seed,
+            "minimized": bool(args.minimize),
+        }
+        for evaluation in findings:
+            path = save_entry(
+                args.corpus,
+                entry_from_evaluation(evaluation, provenance=provenance),
+            )
+            print(f"reproducer written to {path}")
+    # A campaign that surfaced nothing beyond routine coverage exits 3,
+    # mirroring ``monitor``'s no-alert convention.
+    return 0 if findings else 3
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -601,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "monitor":

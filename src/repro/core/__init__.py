@@ -10,6 +10,7 @@ from .signatures import (
     burst_flow,
     find_port_loops,
     has_flow_contention,
+    match_contention_masked_storm,
     match_in_loop_deadlock,
     match_micro_burst_incast,
     match_normal_contention,
@@ -39,6 +40,7 @@ __all__ = [
     "burst_flow",
     "find_port_loops",
     "has_flow_contention",
+    "match_contention_masked_storm",
     "match_in_loop_deadlock",
     "match_micro_burst_incast",
     "match_normal_contention",

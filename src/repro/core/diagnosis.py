@@ -245,7 +245,25 @@ class Diagnoser:
             else:
                 anomaly = AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION
         elif root is RootCauseKind.FLOW_CONTENTION:
-            anomaly = AnomalyType.MICRO_BURST_INCAST
+            meta = annotated.port_meta.get(port)
+            if (
+                meta is not None
+                and meta.is_pfc_paused
+                and meta.peer_is_host
+                and meta.peer is not None
+            ):
+                # Fuzzer-promoted class: the terminal port carries *both*
+                # Table 2 root-cause signals at once — the peer host is
+                # provably injecting PAUSE frames (the port is paused with
+                # a host on the other end) while converging flows pile up
+                # behind the frozen queue.  Contention alone would hide
+                # the injecting NIC; the injection is the actionable cause
+                # and the contributors are kept as the masking flows.
+                anomaly = AnomalyType.CONTENTION_MASKED_STORM
+                root = RootCauseKind.HOST_PFC_INJECTION
+                injector = meta.peer.node
+            else:
+                anomaly = AnomalyType.MICRO_BURST_INCAST
         elif root is RootCauseKind.HOST_PFC_INJECTION:
             anomaly = AnomalyType.PFC_STORM
         else:

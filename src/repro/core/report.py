@@ -11,7 +11,16 @@ from ..topology.graph import PortRef
 
 
 class AnomalyType(enum.Enum):
-    """The representative RDMA NPA classes of Table 2."""
+    """The representative RDMA NPA classes of Table 2.
+
+    :data:`CONTENTION_MASKED_STORM` extends the paper's table: it was
+    discovered by the scenario fuzzer (``repro.fuzz``) as a recurring
+    misdiagnosis — a host injecting PAUSE frames *while* an incast
+    converges on its port shows both injection evidence and positive
+    contention contributors at the terminal port, and Table 2's rows
+    (which treat the two signals as mutually exclusive) classified it as
+    plain flow contention, hiding the injecting NIC.
+    """
 
     MICRO_BURST_INCAST = "pfc-backpressure-flow-contention"
     PFC_STORM = "pfc-storm"
@@ -19,6 +28,7 @@ class AnomalyType(enum.Enum):
     OUT_OF_LOOP_DEADLOCK_CONTENTION = "out-of-loop-deadlock-contention"
     OUT_OF_LOOP_DEADLOCK_INJECTION = "out-of-loop-deadlock-injection"
     NORMAL_CONTENTION = "normal-flow-contention"
+    CONTENTION_MASKED_STORM = "contention-masked-pfc-storm"
     UNKNOWN = "unknown"
 
     @property
@@ -42,6 +52,7 @@ _SEVERITY = {
     AnomalyType.OUT_OF_LOOP_DEADLOCK_CONTENTION: 5,
     AnomalyType.OUT_OF_LOOP_DEADLOCK_INJECTION: 5,
     AnomalyType.PFC_STORM: 4,
+    AnomalyType.CONTENTION_MASKED_STORM: 4,
     AnomalyType.MICRO_BURST_INCAST: 3,
     AnomalyType.NORMAL_CONTENTION: 2,
     AnomalyType.UNKNOWN: 0,

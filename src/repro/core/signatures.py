@@ -174,6 +174,28 @@ def match_out_of_loop_deadlock(
     return None
 
 
+def match_contention_masked_storm(annotated: AnnotatedGraph) -> Optional[PortRef]:
+    """A PFC path ending at a *paused* host-facing port that also shows
+    flow contention.
+
+    Fuzzer-promoted signature (not in the paper's Table 2): host PFC
+    injection and converging traffic at the same port.  Table 2 treats
+    "positive contributors" and "paused with no contention" as exclusive
+    rows, so this combination used to be reported as plain flow
+    contention — naming the masking flows and never the injecting host.
+    """
+    graph = annotated.graph
+    for port in graph.ports:
+        if graph.port_out_degree(port) != 0:
+            continue
+        meta = annotated.port_meta.get(port)
+        if meta is None or not meta.is_pfc_paused or not meta.peer_is_host:
+            continue
+        if has_flow_contention(graph, port):
+            return port
+    return None
+
+
 def match_normal_contention(annotated: AnnotatedGraph) -> Optional[PortRef]:
     """No port-level edges at all, but some port shows contention."""
     graph = annotated.graph

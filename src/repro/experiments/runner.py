@@ -622,17 +622,31 @@ class ScenarioSpec:
     holds a simulator with scheduled closures and is not picklable; the
     builders in :data:`repro.workloads.SCENARIO_BUILDERS` are deterministic
     functions of their seed, so rebuilding is exact.
+
+    Fuzzed scenarios have no named builder: ``genome_json`` carries the
+    serialized :class:`~repro.fuzz.genome.ScenarioGenome` instead, and
+    rebuilding decodes it — equally deterministic, so the sharded and
+    parallel runners treat genome scenarios like any other spec.
     """
 
     builder: str
     seed: int = 1
     label: Optional[str] = None
+    genome_json: Optional[str] = None
 
     @property
     def name(self) -> str:
-        return self.label if self.label else f"{self.builder}[seed={self.seed}]"
+        if self.label:
+            return self.label
+        if self.genome_json is not None:
+            return f"genome[{self.builder}]"
+        return f"{self.builder}[seed={self.seed}]"
 
     def build(self) -> Scenario:
+        if self.genome_json is not None:
+            from ..fuzz.genome import ScenarioGenome  # deferred: import cycle
+
+            return ScenarioGenome.from_json(self.genome_json).build()
         from ..workloads import SCENARIO_BUILDERS  # deferred: import cycle
 
         return SCENARIO_BUILDERS[self.builder](seed=self.seed)

@@ -1,0 +1,76 @@
+"""Coverage-guided scenario fuzzing: searching beyond Table 2.
+
+The paper hand-crafts five anomaly classes; this package searches the
+scenario space *around* them.  ``genome`` defines the typed search space,
+``mutate`` the seeded operators, ``coverage`` the feedback signal drawn
+from the existing diagnosis/monitor planes, ``engine`` the deterministic
+generation loop, ``minimize`` the delta-debugging reducer, and ``corpus``
+the on-disk reproducer format replayed by the test suite.
+"""
+
+from .corpus import (
+    CORPUS_FORMAT,
+    CorpusEntry,
+    entry_from_evaluation,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from .coverage import (
+    NO_VERDICT,
+    PAPER_CLASSES,
+    FuzzObservation,
+    graph_shape_hash,
+    interest_of,
+    observe,
+)
+from .engine import (
+    FuzzConfig,
+    FuzzEvaluation,
+    FuzzReport,
+    evaluate_genome,
+    run_fuzz,
+    seed_genomes,
+)
+from .genome import (
+    FLOAT_RANGES,
+    GENOME_FORMAT,
+    INT_RANGES,
+    TOPOLOGY_KINDS,
+    ScenarioGenome,
+    genome_fields,
+)
+from .minimize import minimize
+from .mutate import MUTATION_AXES, crossover, mutate, random_genome
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CorpusEntry",
+    "entry_from_evaluation",
+    "load_corpus",
+    "replay_entry",
+    "save_entry",
+    "NO_VERDICT",
+    "PAPER_CLASSES",
+    "FuzzObservation",
+    "graph_shape_hash",
+    "interest_of",
+    "observe",
+    "FuzzConfig",
+    "FuzzEvaluation",
+    "FuzzReport",
+    "evaluate_genome",
+    "run_fuzz",
+    "seed_genomes",
+    "FLOAT_RANGES",
+    "GENOME_FORMAT",
+    "INT_RANGES",
+    "TOPOLOGY_KINDS",
+    "ScenarioGenome",
+    "genome_fields",
+    "minimize",
+    "MUTATION_AXES",
+    "crossover",
+    "mutate",
+    "random_genome",
+]

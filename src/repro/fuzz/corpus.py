@@ -1,0 +1,121 @@
+"""Persistent fuzz corpus: genomes + expected fingerprints on disk.
+
+Each corpus entry is one JSON file under ``scenarios/`` carrying the
+genome, the coverage fingerprint its evaluation must reproduce, the
+observation that earned retention, and why it was interesting.  The
+replay harness (``tests/fuzz/test_corpus_replay.py``) re-evaluates every
+entry and asserts the fingerprint byte-identically — a committed corpus
+is a regression suite for the whole pipeline, not just the fuzzer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.runner import RunConfig
+from .coverage import FuzzObservation
+from .engine import FuzzEvaluation, evaluate_genome
+from .genome import ScenarioGenome
+
+CORPUS_FORMAT = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One retained scenario: rebuildable, replayable, diffable."""
+
+    name: str
+    genome: ScenarioGenome
+    fingerprint: str
+    interest: Tuple[str, ...] = ()
+    observation: Optional[FuzzObservation] = None
+    diagnosis_text: Optional[str] = None
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "format": CORPUS_FORMAT,
+            "name": self.name,
+            "genome": json.loads(self.genome.to_json()),
+            "fingerprint": self.fingerprint,
+            "interest": list(self.interest),
+        }
+        if self.observation is not None:
+            payload["observation"] = asdict(self.observation)
+        if self.diagnosis_text is not None:
+            payload["diagnosis"] = self.diagnosis_text
+        if self.provenance:
+            payload["provenance"] = dict(self.provenance)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusEntry":
+        if payload.get("format") != CORPUS_FORMAT:
+            raise ValueError(
+                f"unsupported corpus format: {payload.get('format')!r}"
+            )
+        observation = None
+        if "observation" in payload:
+            obs = dict(payload["observation"])
+            obs["signatures"] = tuple(obs.get("signatures", ()))
+            obs["alert_categories"] = tuple(obs.get("alert_categories", ()))
+            observation = FuzzObservation(**obs)
+        return cls(
+            name=str(payload["name"]),
+            genome=ScenarioGenome.from_json(json.dumps(payload["genome"])),
+            fingerprint=str(payload["fingerprint"]),
+            interest=tuple(payload.get("interest", ())),
+            observation=observation,
+            diagnosis_text=payload.get("diagnosis"),
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+
+def entry_from_evaluation(
+    evaluation: FuzzEvaluation,
+    name: Optional[str] = None,
+    provenance: Optional[Dict[str, object]] = None,
+) -> CorpusEntry:
+    label = evaluation.interest[0] if evaluation.interest else "coverage"
+    return CorpusEntry(
+        name=name or f"{label}-{evaluation.fingerprint[:10]}",
+        genome=evaluation.genome,
+        fingerprint=evaluation.fingerprint,
+        interest=evaluation.interest,
+        observation=evaluation.observation,
+        diagnosis_text=evaluation.diagnosis_text,
+        provenance=provenance or {},
+    )
+
+
+def save_entry(directory: str, entry: CorpusEntry) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{entry.name}.json")
+    with open(path, "w") as fh:
+        json.dump(entry.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Every corpus entry under ``directory``, sorted by file name."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as fh:
+            entries.append(CorpusEntry.from_dict(json.load(fh)))
+    return entries
+
+
+def replay_entry(
+    entry: CorpusEntry, run_config: Optional[RunConfig] = None
+) -> Tuple[bool, FuzzEvaluation]:
+    """Re-evaluate one entry; True iff the fingerprint reproduced exactly."""
+    evaluation = evaluate_genome(entry.genome, run_config)
+    return evaluation.fingerprint == entry.fingerprint, evaluation

@@ -1,0 +1,88 @@
+"""Delta-debugging minimizer for fuzz findings.
+
+Greedy fixpoint reduction: for each gene (in declaration order) try a
+deterministic ladder of simplifications — the default value first, then
+binary steps toward it — keeping a candidate only when the re-evaluated
+coverage fingerprint is unchanged.  The loop repeats until a full pass
+accepts nothing.
+
+Fixpoint implies idempotence: minimizing an already-minimal genome tries
+the exact same candidate ladder, every candidate fails the fingerprint
+check, and the genome comes back untouched.  That contract is what lets
+minimized corpus reproducers be re-minimized (in CI, by later sessions)
+without churning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Callable, List, Optional
+
+from ..experiments.runner import RunConfig
+from .engine import evaluate_genome
+from .genome import ScenarioGenome
+
+# Genes the minimizer never touches: identity/axes whose "default" is not
+# meaningfully simpler and whose movement would change the scenario class.
+_PINNED = ("seed", "topology")
+
+
+def _candidate_ladder(genome: ScenarioGenome, name: str) -> List[object]:
+    """Simpler values to try for one gene, most aggressive first."""
+    current = getattr(genome, name)
+    default = getattr(ScenarioGenome(), name)
+    if current == default:
+        return []
+    if isinstance(current, bool) or isinstance(default, bool):
+        return [default]
+    ladder: List[object] = [default]
+    # Binary step midway toward the default (ints stay ints).
+    if isinstance(current, int) and isinstance(default, int):
+        mid = (current + default) // 2
+        if mid not in (current, default):
+            ladder.append(mid)
+    elif isinstance(current, float) or isinstance(default, float):
+        mid = round((float(current) + float(default)) / 2.0, 6)
+        if mid not in (current, default):
+            ladder.append(mid)
+    return ladder
+
+
+def minimize(
+    genome: ScenarioGenome,
+    fingerprint: str,
+    run_config: Optional[RunConfig] = None,
+    evaluate: Optional[Callable[[ScenarioGenome], str]] = None,
+    max_evaluations: int = 200,
+) -> ScenarioGenome:
+    """Shrink ``genome`` while its coverage fingerprint stays ``fingerprint``.
+
+    ``evaluate`` maps a genome to its fingerprint (injectable for tests);
+    the default builds and runs the scenario via :func:`evaluate_genome`.
+    ``max_evaluations`` bounds the work on pathological plateaus.
+    """
+    if evaluate is None:
+        def evaluate(g: ScenarioGenome) -> str:
+            return evaluate_genome(g, run_config).fingerprint
+
+    current = genome.normalized()
+    spent = 0
+    names = [
+        f.name for f in fields(ScenarioGenome) if f.name not in _PINNED
+    ]
+    changed = True
+    while changed and spent < max_evaluations:
+        changed = False
+        for name in names:
+            for value in _candidate_ladder(current, name):
+                candidate = replace(current, **{name: value}).normalized()
+                if candidate == current:
+                    continue
+                if spent >= max_evaluations:
+                    return current
+                spent += 1
+                if evaluate(candidate) == fingerprint:
+                    current = candidate
+                    changed = True
+                    break
+    return current

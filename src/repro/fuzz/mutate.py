@@ -1,0 +1,100 @@
+"""Seeded mutation and crossover over scenario genomes.
+
+Every operator takes an explicit :class:`random.Random` and returns a
+*normalized* genome, so (a) the fuzz loop's draws are a pure function of
+its master seed, and (b) every product builds a runnable scenario (the
+genome's validity projection runs on the way out).  Mutation perturbs one
+axis at a time — coverage feedback attributes a new behaviour to the one
+knob that moved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, List, Tuple
+
+from .genome import (
+    FLOAT_RANGES,
+    INT_RANGES,
+    TOPOLOGY_KINDS,
+    ScenarioGenome,
+    genome_fields,
+)
+
+_BOOL_FIELDS = ("cbd_rewire", "circulate")
+
+
+def _draw_int(rng: random.Random, name: str) -> int:
+    lo, hi = INT_RANGES[name]
+    return rng.randint(lo, hi)
+
+
+def _draw_float(rng: random.Random, name: str) -> float:
+    lo, hi = FLOAT_RANGES[name]
+    # Quantize to 1/64 steps: coarse enough that mutation revisits values
+    # (coverage keys repeat) and JSON round-trips stay exact.
+    steps = 64
+    return round(lo + (hi - lo) * rng.randint(0, steps) / steps, 6)
+
+
+def _axes() -> List[Tuple[str, Callable[[ScenarioGenome, random.Random], ScenarioGenome]]]:
+    axes: List[Tuple[str, Callable]] = []
+    for name in INT_RANGES:
+        if name == "seed":
+            continue  # the seed axis gets a dedicated, smaller jump below
+
+        def _int_axis(g, rng, name=name):
+            return replace(g, **{name: _draw_int(rng, name)})
+
+        axes.append((name, _int_axis))
+    for name in FLOAT_RANGES:
+
+        def _float_axis(g, rng, name=name):
+            return replace(g, **{name: _draw_float(rng, name)})
+
+        axes.append((name, _float_axis))
+    for name in _BOOL_FIELDS:
+
+        def _flip(g, rng, name=name):
+            return replace(g, **{name: not getattr(g, name)})
+
+        axes.append((name, _flip))
+    axes.append((
+        "topology",
+        lambda g, rng: replace(g, topology=rng.choice(TOPOLOGY_KINDS)),
+    ))
+    axes.append((
+        "seed",
+        lambda g, rng: replace(g, seed=(g.seed + rng.randint(1, 32)) % 2**32),
+    ))
+    return axes
+
+
+MUTATION_AXES = _axes()
+
+
+def mutate(genome: ScenarioGenome, rng: random.Random) -> ScenarioGenome:
+    """Perturb exactly one axis; always returns a valid (normalized) genome."""
+    _, op = MUTATION_AXES[rng.randrange(len(MUTATION_AXES))]
+    return op(genome, rng).normalized()
+
+
+def crossover(
+    a: ScenarioGenome, b: ScenarioGenome, rng: random.Random
+) -> ScenarioGenome:
+    """Field-wise uniform crossover of two genomes."""
+    picks = {
+        name: getattr(a if rng.random() < 0.5 else b, name)
+        for name in genome_fields()
+    }
+    return ScenarioGenome(**picks).normalized()
+
+
+def random_genome(rng: random.Random) -> ScenarioGenome:
+    """An unbiased draw from the whole (normalized) genome space."""
+    values = {name: _draw_int(rng, name) for name in INT_RANGES}
+    values.update({name: _draw_float(rng, name) for name in FLOAT_RANGES})
+    values.update({name: rng.random() < 0.5 for name in _BOOL_FIELDS})
+    values["topology"] = rng.choice(TOPOLOGY_KINDS)
+    return ScenarioGenome(**values).normalized()

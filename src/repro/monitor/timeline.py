@@ -42,6 +42,12 @@ ANOMALY_ALERT_CATEGORIES: Dict[str, FrozenSet[str]] = {
     "pfc-backpressure-flow-contention": frozenset(
         {BUFFER_SATURATION, PAUSE_BACKPRESSURE}
     ),
+    # Fuzzer-promoted class: host injection plus converging traffic at the
+    # same port shows both the storm's pause flood and the incast's buffer
+    # pressure.
+    "contention-masked-pfc-storm": frozenset(
+        {PFC_STORM, PAUSE_BACKPRESSURE, BUFFER_SATURATION}
+    ),
     "in-loop-deadlock": frozenset({PAUSE_BACKPRESSURE, THROUGHPUT_COLLAPSE}),
     "out-of-loop-deadlock-contention": frozenset(
         {PAUSE_BACKPRESSURE, THROUGHPUT_COLLAPSE, BUFFER_SATURATION}

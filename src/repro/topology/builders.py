@@ -19,6 +19,7 @@ def build_fat_tree(
     bandwidth: float = DEFAULT_BANDWIDTH,
     delay_ns: int = DEFAULT_DELAY_NS,
     hosts_per_edge: int | None = None,
+    core_bandwidth: float | None = None,
 ) -> Topology:
     """Build a K-ary fat-tree [14].
 
@@ -33,12 +34,18 @@ def build_fat_tree(
 
     Host IPs are ``10.{pod}.{edge}.{j+2}`` following the fat-tree addressing
     convention.
+
+    ``core_bandwidth`` overrides the agg<->core link speed; setting it below
+    ``bandwidth`` yields an oversubscribed core (the fuzzer's main lever for
+    pushing congestion up a tier).
     """
     if k % 2 != 0 or k < 2:
         raise ValueError("fat-tree K must be a positive even number")
     half = k // 2
     if hosts_per_edge is None:
         hosts_per_edge = half
+    if core_bandwidth is None:
+        core_bandwidth = bandwidth
 
     topo = Topology(name=f"fattree-k{k}")
 
@@ -58,7 +65,7 @@ def build_fat_tree(
         # agg <-> core: agg i connects to core group i
         for i, agg in enumerate(aggs):
             for j in range(half):
-                topo.add_link(agg, core[i * half + j], bandwidth, delay_ns)
+                topo.add_link(agg, core[i * half + j], core_bandwidth, delay_ns)
 
     for pod in range(k):
         for e in range(half):
@@ -76,20 +83,25 @@ def build_leaf_spine(
     hosts_per_leaf: int = 4,
     bandwidth: float = DEFAULT_BANDWIDTH,
     delay_ns: int = DEFAULT_DELAY_NS,
+    spine_bandwidth: float | None = None,
 ) -> Topology:
     """Build a two-tier leaf-spine fabric.
 
     Naming: spines ``S{i}``, leaves ``L{i}``, hosts ``H{leaf}_{j}``.
+    ``spine_bandwidth`` overrides the leaf<->spine uplink speed for
+    oversubscribed fabrics.
     """
     if leaves < 1 or spines < 1:
         raise ValueError("need at least one leaf and one spine")
+    if spine_bandwidth is None:
+        spine_bandwidth = bandwidth
     topo = Topology(name=f"leafspine-{leaves}x{spines}")
     for s in range(spines):
         topo.add_switch(f"S{s}")
     for l in range(leaves):
         topo.add_switch(f"L{l}")
         for s in range(spines):
-            topo.add_link(f"L{l}", f"S{s}", bandwidth, delay_ns)
+            topo.add_link(f"L{l}", f"S{s}", spine_bandwidth, delay_ns)
         for j in range(hosts_per_leaf):
             host = f"H{l}_{j}"
             topo.add_host(host, ip=f"10.{l}.0.{j + 2}")

@@ -5,6 +5,7 @@ from .anomalies import (
     BACKGROUND_SCALE,
     SCENARIO_BUILDERS,
     add_background_traffic,
+    contention_masked_storm_scenario,
     fleet_incast_scenario,
     in_loop_deadlock_scenario,
     incast_backpressure_scenario,
@@ -24,6 +25,7 @@ __all__ = [
     "BACKGROUND_SCALE",
     "SCENARIO_BUILDERS",
     "add_background_traffic",
+    "contention_masked_storm_scenario",
     "fleet_incast_scenario",
     "in_loop_deadlock_scenario",
     "incast_backpressure_scenario",

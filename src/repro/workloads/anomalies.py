@@ -199,6 +199,78 @@ def pfc_storm_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Contention-masked PFC storm (fuzzer-promoted; not in the paper's Table 2)
+# ---------------------------------------------------------------------------
+
+
+def contention_masked_storm_scenario(
+    seed: int = 1,
+    num_bursts: int = 5,
+    burst_size: int = 500 * KB,
+    storm_duration_ns: int = msec(3),
+    duration_ns: int = msec(4),
+    config: Optional[SimConfig] = None,
+) -> Scenario:
+    """A host injects PAUSE frames *while* an incast converges on its port.
+
+    Discovered by the coverage-guided scenario fuzzer (``repro.fuzz``):
+    the terminal port of the PFC provenance shows host-injection evidence
+    (paused, host peer) *and* positive contention contributors at the same
+    time — a signal combination outside Table 2 that the original
+    signature rows collapsed into plain flow contention, blaming only the
+    masking flows and never the broken NIC.
+    """
+    topo = build_fat_tree(k=4)
+    cfg = _config(seed, config)
+    if config is None:
+        cfg.pfc = PfcConfig(xoff_bytes=80 * KB, xon_bytes=40 * KB)
+    net = Network(topo, config=cfg)
+    rng = random.Random(seed)
+
+    injector = "H0_0_0"
+    burst_sources = ["H1_0_0", "H1_0_1", "H1_1_0", "H2_0_0", "H2_1_0"]
+    burst_sources = burst_sources[:num_bursts]
+    burst_start = usec(40)
+    culprits = []
+    for i, src in enumerate(burst_sources):
+        jitter = rng.randrange(0, usec(5))
+        flow = net.make_flow(src, injector, burst_size, burst_start + jitter,
+                             src_port=11000 + i)
+        net.start_flow(flow)
+        culprits.append(flow)
+
+    # The storm starts *after* the bursts land: the converging traffic has
+    # already queued unpaused at the port (so the replay sees positive
+    # contention contributors there) when the host freezes it with PAUSE
+    # injection.  Injection-first ordering would exclude every burst packet
+    # as paused and collapse the case into a plain storm.
+    net.sim.schedule(
+        usec(80), lambda: net.hosts[injector].start_pfc_injection(storm_duration_ns)
+    )
+
+    victim = net.make_flow("H0_1_0", "H0_0_1", 2_000 * KB, usec(10), src_port=12000)
+    net.start_flow(victim)
+
+    truth = GroundTruth(
+        anomaly=AnomalyType.CONTENTION_MASKED_STORM,
+        injecting_host=injector,
+        culprit_flows=[f.key for f in culprits],
+        initial_port=topo.attachment_of(injector),
+    )
+    return Scenario(
+        name=f"contention-masked-storm-seed{seed}",
+        network=net,
+        truth=truth,
+        victims=[victim],
+        duration_ns=duration_ns,
+        description=(
+            f"{injector} injects PFC PAUSE frames while an incast converges "
+            "on its port: injection masked by contention."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Deadlocks on the ring CBD (Figures 1c, 1d)
 # ---------------------------------------------------------------------------
 
@@ -578,6 +650,7 @@ SCENARIO_BUILDERS = {
     "lordma-attack": lordma_attack_scenario,
     "incast-backpressure": incast_backpressure_scenario,
     "pfc-storm": pfc_storm_scenario,
+    "contention-masked-storm": contention_masked_storm_scenario,
     "in-loop-deadlock": in_loop_deadlock_scenario,
     "out-of-loop-deadlock": out_of_loop_deadlock_scenario,
     "normal-contention": normal_contention_scenario,

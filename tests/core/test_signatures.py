@@ -9,6 +9,7 @@ from repro.core import (
     burst_flow,
     find_port_loops,
     has_flow_contention,
+    match_contention_masked_storm,
     match_in_loop_deadlock,
     match_micro_burst_incast,
     match_normal_contention,
@@ -160,3 +161,43 @@ class TestTable2Signatures:
     def test_normal_contention_excluded_when_pfc_present(self):
         ann = chain_graph()
         assert match_normal_contention(ann) is None
+
+
+class TestContentionMaskedStorm:
+    """The fuzzer-promoted compound row: paused host-facing terminal port
+    *with* positive contention contributors — exclusive rows in the
+    paper's Table 2, simultaneous here."""
+
+    def _masked(self):
+        ann = chain_graph(with_contention=True)
+        ann.port_meta[P("C")] = PortMeta(paused_num=3, peer_is_host=True)
+        return ann
+
+    def test_matches_paused_host_port_with_contention(self):
+        assert match_contention_masked_storm(self._masked()) == P("C")
+
+    def test_disambiguates_against_table2_rows(self):
+        ann = self._masked()
+        # Plain storm needs *no* contention at the terminal; plain incast
+        # claims the same graph, which is exactly why the diagnoser must
+        # consult the compound row first.
+        assert match_pfc_storm(ann) is None
+        assert match_micro_burst_incast(ann) == P("C")
+
+    def test_requires_pause_evidence(self):
+        ann = chain_graph(with_contention=True)
+        ann.port_meta[P("C")] = PortMeta(paused_num=0, peer_is_host=True)
+        assert match_contention_masked_storm(ann) is None
+
+    def test_requires_host_peer(self):
+        # Paused and contended, but the terminal faces a switch: the pause
+        # came from fabric backpressure, not NIC injection.
+        ann = chain_graph(with_contention=True)
+        ann.port_meta[P("C")] = PortMeta(paused_num=3, peer_is_host=False)
+        assert match_contention_masked_storm(ann) is None
+
+    def test_requires_contention(self):
+        ann = chain_graph(with_contention=False, terminal_paused=True)
+        ann.port_meta[P("C")] = PortMeta(paused_num=3, peer_is_host=True)
+        assert match_contention_masked_storm(ann) is None
+        assert match_pfc_storm(ann) == P("C")

@@ -1,0 +1,52 @@
+"""Replay harness for the checked-in fuzz corpus (``scenarios/``).
+
+Every minimized reproducer the fuzzer promoted into the repository must
+replay byte-identically: same coverage fingerprint, same observation,
+same diagnosis text.  A drift here means a behaviour change in the
+simulator, diagnoser, or monitor reached a discovered anomaly — exactly
+the regressions the corpus exists to catch.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import PAPER_CLASSES, load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "scenarios"
+ENTRIES = load_corpus(str(CORPUS_DIR))
+
+
+def test_corpus_is_checked_in():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_corpus_contains_a_beyond_paper_class_find():
+    promoted = [
+        e for e in ENTRIES
+        if "beyond-paper-class" in e.interest
+        and e.observation is not None
+        and e.observation.verdict == "contention-masked-pfc-storm"
+    ]
+    assert promoted, (
+        "the corpus must keep the minimized reproducer of the promoted "
+        "contention-masked-pfc-storm find"
+    )
+    for entry in promoted:
+        assert entry.observation.verdict not in PAPER_CLASSES
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e.name for e in ENTRIES]
+)
+def test_entry_replays_byte_identically(entry):
+    ok, evaluation = replay_entry(entry)
+    assert ok, (
+        f"{entry.name}: fingerprint drifted\n"
+        f"  expected {entry.fingerprint}\n"
+        f"  got      {evaluation.fingerprint}\n"
+        f"  verdict  {evaluation.observation.verdict}"
+    )
+    if entry.observation is not None:
+        assert evaluation.observation == entry.observation
+    assert tuple(evaluation.interest) == tuple(entry.interest)

@@ -1,0 +1,75 @@
+"""Minimizer contract: fingerprint preservation, idempotence, bounded work."""
+
+import dataclasses
+
+from repro.fuzz import ScenarioGenome, evaluate_genome, minimize
+
+
+def _fake_eval(genome):
+    """A stand-in coverage map: the finding needs a storm AND an incast."""
+    if genome.storm_us > 0 and genome.incast_degree > 0:
+        return "hit"
+    return "miss"
+
+
+NOISY = dataclasses.replace(
+    ScenarioGenome(),
+    storm_us=2500, storm_start_us=400, incast_degree=7,
+    burst_kb=900, victim_kb=2800, pulses=4, jitter_us=9,
+    flow_tail=6.0, background_load=0.1, duration_us=5000,
+).normalized()
+
+
+class TestContract:
+    def test_preserves_fingerprint(self):
+        minimized = minimize(NOISY, "hit", evaluate=_fake_eval)
+        assert _fake_eval(minimized) == "hit"
+
+    def test_shrinks_irrelevant_genes_to_defaults(self):
+        minimized = minimize(NOISY, "hit", evaluate=_fake_eval)
+        default = ScenarioGenome()
+        for name in ("burst_kb", "victim_kb", "pulses", "jitter_us",
+                     "flow_tail", "background_load", "duration_us"):
+            assert getattr(minimized, name) == getattr(default, name), name
+        # The load-bearing genes survive (nonzero), reduced to the floor
+        # the fingerprint tolerates.
+        assert minimized.storm_us > 0
+        assert minimized.incast_degree > 0
+
+    def test_idempotent(self):
+        once = minimize(NOISY, "hit", evaluate=_fake_eval)
+        twice = minimize(once, "hit", evaluate=_fake_eval)
+        assert twice == once
+
+    def test_never_escapes_the_fingerprint(self):
+        # A fingerprint the genome does not have: nothing to preserve, so
+        # nothing may change.
+        assert minimize(NOISY, "unreachable", evaluate=_fake_eval) == NOISY
+
+    def test_respects_evaluation_budget(self):
+        calls = []
+
+        def counting_eval(genome):
+            calls.append(genome)
+            return _fake_eval(genome)
+
+        minimize(NOISY, "hit", evaluate=counting_eval, max_evaluations=5)
+        assert len(calls) <= 5
+
+    def test_pinned_genes_untouched(self):
+        shifted = dataclasses.replace(NOISY, seed=77, topology="line").normalized()
+        minimized = minimize(shifted, "hit", evaluate=_fake_eval)
+        assert minimized.seed == 77
+        assert minimized.topology == "line"
+
+
+class TestRealPipeline:
+    def test_partial_minimize_preserves_real_fingerprint(self):
+        """Even a budget-capped pass returns a genome whose *simulated*
+        coverage fingerprint is intact."""
+        genome = dataclasses.replace(
+            ScenarioGenome(), burst_kb=700, jitter_us=8
+        ).normalized()
+        target = evaluate_genome(genome).fingerprint
+        minimized = minimize(genome, target, max_evaluations=6)
+        assert evaluate_genome(minimized).fingerprint == target

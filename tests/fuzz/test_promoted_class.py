@@ -1,0 +1,67 @@
+"""The promoted fuzzer find: contention-masked PFC storm.
+
+The coverage-guided fuzzer surfaced a scenario outside the paper's five
+classes — a host injecting PAUSE frames while an incast converges on its
+own port — and it was promoted to a first-class anomaly: registered
+builder, Table-2-style signature, diagnoser verdict, and monitor alert
+category.  These pins are its acceptance contract.
+"""
+
+import pytest
+
+from repro.core import AnomalyType, RootCauseKind
+from repro.experiments import RunConfig, diagnosis_correct, run_scenario
+from repro.monitor import ANOMALY_ALERT_CATEGORIES, MonitorConfig
+from repro.workloads import SCENARIO_BUILDERS, contention_masked_storm_scenario
+
+
+class TestScenarioBuilder:
+    def test_registered(self):
+        assert "contention-masked-storm" in SCENARIO_BUILDERS
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_truth(self, seed):
+        sc = contention_masked_storm_scenario(seed=seed)
+        assert sc.truth.anomaly is AnomalyType.CONTENTION_MASKED_STORM
+        assert sc.truth.injecting_host == "H0_0_0"
+        assert sc.truth.culprit_flows, "masking incast flows are culprits too"
+        assert sc.victims
+
+
+class TestDiagnosis:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_diagnosed_as_masked_storm(self, seed):
+        sc = contention_masked_storm_scenario(seed=seed)
+        result = run_scenario(sc, RunConfig())
+        d = result.diagnosis()
+        assert d is not None
+        primary = d.primary()
+        assert primary.anomaly is AnomalyType.CONTENTION_MASKED_STORM
+        assert primary.root_cause is RootCauseKind.HOST_PFC_INJECTION
+        assert primary.injecting_source == "H0_0_0"
+        # Both halves of the compound: the injector is named *and* the
+        # masking contention flows are attributed.
+        assert primary.culprit_flows
+        assert diagnosis_correct(d, sc.truth)
+
+    def test_blamed_flows_are_the_masking_bursts(self):
+        sc = contention_masked_storm_scenario(seed=1)
+        result = run_scenario(sc, RunConfig())
+        primary = result.diagnosis().primary()
+        assert set(primary.culprit_keys()) <= set(sc.truth.culprit_flows)
+
+
+class TestMonitorIntegration:
+    def test_alert_category_mapping_exists(self):
+        assert "contention-masked-pfc-storm" in ANOMALY_ALERT_CATEGORIES
+
+    def test_monitored_run_raises_early_warning(self):
+        sc = contention_masked_storm_scenario(seed=1)
+        result = run_scenario(sc, RunConfig(monitor=MonitorConfig()))
+        incidents = result.monitor.timeline.incidents
+        assert incidents
+        for incident in incidents:
+            assert incident.anomaly == "contention-masked-pfc-storm"
+            expected = ANOMALY_ALERT_CATEGORIES[incident.anomaly]
+            assert any(a.category in expected for a in incident.alerts)
+            assert incident.early_warning

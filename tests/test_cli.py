@@ -59,6 +59,11 @@ class TestArgumentValidation:
         ["sweep", "pfc-storm", "--thresholds", "-3"],
         ["chaos", "--loss-rates", "1.5"],
         ["chaos", "--loss-rates", "-0.1"],
+        ["fuzz", "--budget", "0"],
+        ["fuzz", "--budget", "-5"],
+        ["fuzz", "--jobs", "0"],
+        ["fuzz", "--jobs", "-1"],
+        ["fuzz", "--generation", "0"],
     ])
     def test_non_positive_rejected(self, argv, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -70,10 +75,43 @@ class TestArgumentValidation:
     @pytest.mark.parametrize("argv", [
         ["sweep", "pfc-storm", "--seeds", "two"],
         ["run", "pfc-storm", "--threshold", "high"],
+        ["fuzz", "--seed", "many"],
     ])
     def test_non_numeric_rejected(self, argv):
         with pytest.raises(SystemExit):
             main(argv)
+
+
+class TestFuzzValidation:
+    """``fuzz`` knobs fail fast: 32-bit seed range, sane corpus paths."""
+
+    @pytest.mark.parametrize("value", ["-1", str(2**32), str(2**40)])
+    def test_seed_out_of_range_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--seed", value])
+        assert exc.value.code == 2
+        assert "seed must be in [0, 2**32)" in capsys.readouterr().err
+
+    def test_corpus_path_is_a_file(self, tmp_path, capsys):
+        blocker = tmp_path / "corpus"
+        blocker.write_text("not a directory\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--corpus", str(blocker)])
+        assert exc.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_corpus_parent_missing(self, tmp_path, capsys):
+        orphan = tmp_path / "no" / "such" / "corpus"
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--corpus", str(orphan)])
+        assert exc.value.code == 2
+        assert "parent directory does not exist" in capsys.readouterr().err
+
+    def test_fresh_corpus_dir_in_existing_parent_ok(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        rc = main(["fuzz", "--budget", "1", "--corpus", str(corpus)])
+        assert rc in (0, 3)
+        assert corpus.is_dir()
 
 
 class TestChaos:

@@ -1,0 +1,204 @@
+"""Service-plane scale gate: a subscriber swarm plus sustained queries.
+
+Launches a real :class:`DiagnosisService` on a unix socket, attaches a
+few hundred streaming subscribers and a pool of query tenants, and
+records what the SLO cares about into the ``serve_scale`` record of
+``BENCH_perf.json``:
+
+- query latency p50/p95/p99 (client-observed wall time, including
+  admission queueing and the slice the query interleaves behind);
+- stream delivery lag (event publish ``ts`` → client receive);
+- protocol hygiene: **zero** ``error`` responses and **zero** silent
+  drops — every subscriber either stays gap-free or receives a terminal
+  eviction notice, and every stream ends with an explicit ``shutdown``.
+
+Gates are two-tier like every perf gate here: generous floors always,
+the tight SLO under ``REPRO_PERF_STRICT=1``.
+"""
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import (
+    BENCH_PERF_FILENAME,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.serve import DiagnosisService, ServeClient, ServeConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+SUBSCRIBERS = int(os.environ.get("REPRO_SERVE_SUBS", "200"))
+QUERY_TENANTS = 4
+QUERY_SECONDS = 3.0
+
+# SLO: p99 client-observed query latency.  The floor is generous (CI
+# machines vary wildly); the strict tier is the contract.
+FLOOR_P99_S = 2.0
+STRICT_P99_S = 0.5
+FLOOR_LAG_S = 5.0
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _subscriber(path, index, results):
+    client = await ServeClient.connect(
+        unix_path=path, tenant=f"swarm-{index % 8}"
+    )
+    reply = await client.subscribe()
+    assert reply["type"] == "subscribed", reply
+    lags, count, terminal = [], 0, None
+    try:
+        while True:
+            event = await client.next_event(timeout=120.0)
+            count += 1
+            lags.append(max(0.0, time.time() - event["ts"]))
+            if event["event"] in ("shutdown", "evicted"):
+                terminal = event["event"]
+                break
+    finally:
+        results.append({
+            "events": count,
+            "terminal": terminal,
+            "max_lag_s": max(lags) if lags else 0.0,
+            "p95_lag_s": _percentile(lags, 0.95),
+        })
+        await client.close()
+
+
+async def _querier(path, index, latencies, statuses, stop_event):
+    client = await ServeClient.connect(
+        unix_path=path, tenant=f"query-{index}"
+    )
+    try:
+        while not stop_event.is_set():
+            t0 = time.perf_counter()
+            reply = await client.query()
+            wall = time.perf_counter() - t0
+            if reply.get("ok"):
+                statuses["ok"] += 1
+                latencies.append(wall)
+            elif reply.get("type") == "rejected":
+                statuses["rejected"] += 1
+                await asyncio.sleep(
+                    min(0.25, reply.get("retry_after_s", 0.05))
+                )
+            else:
+                statuses["error"] += 1
+            await asyncio.sleep(0.01)
+    finally:
+        await client.close()
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_scale_swarm(tmp_path):
+    sock = str(tmp_path / "serve.sock")
+    config = ServeConfig(
+        scenario="pfc-storm", seed=1, episodes=None, slice_us=200.0
+    )
+
+    async def drive():
+        service = DiagnosisService(config)
+        await service.start(unix_path=sock)
+        sub_results = []
+        sub_tasks = [
+            asyncio.ensure_future(_subscriber(sock, i, sub_results))
+            for i in range(SUBSCRIBERS)
+        ]
+        # Let every subscription establish before the query storm.
+        while service.broker.active < SUBSCRIBERS:
+            await asyncio.sleep(0.02)
+
+        latencies, statuses = [], {"ok": 0, "rejected": 0, "error": 0}
+        stop_event = asyncio.Event()
+        query_tasks = [
+            asyncio.ensure_future(
+                _querier(sock, i, latencies, statuses, stop_event)
+            )
+            for i in range(QUERY_TENANTS)
+        ]
+        await asyncio.sleep(QUERY_SECONDS)
+        stop_event.set()
+        await asyncio.gather(*query_tasks)
+
+        episodes = service.episodes_completed
+        counters = service.registry.to_dict()["counters"]
+        evicted = counters.get("serve.stream.evicted", 0)
+        await service.stop(reason="bench-complete")
+        await asyncio.gather(*sub_tasks)
+        return sub_results, latencies, statuses, episodes, evicted
+
+    sub_results, latencies, statuses, episodes, evicted = asyncio.run(drive())
+
+    # -- hygiene gates -------------------------------------------------------
+    assert statuses["error"] == 0, f"protocol errors under load: {statuses}"
+    assert statuses["ok"] >= 1, f"no query ever succeeded: {statuses}"
+    # Every stream ended with an explicit terminal event: nothing silent.
+    terminals = [r["terminal"] for r in sub_results]
+    assert all(t in ("shutdown", "evicted") for t in terminals), terminals
+    # With every subscriber actively reading, nobody should be evicted.
+    assert evicted == 0, f"{evicted} subscribers evicted while reading"
+    assert all(r["events"] > 0 for r in sub_results)
+
+    # -- latency gates -------------------------------------------------------
+    p50 = _percentile(latencies, 0.50)
+    p95 = _percentile(latencies, 0.95)
+    p99 = _percentile(latencies, 0.99)
+    max_lag = max(r["max_lag_s"] for r in sub_results)
+    p95_lag = _percentile([r["p95_lag_s"] for r in sub_results], 0.95)
+
+    record = {
+        "subscribers": SUBSCRIBERS,
+        "query_tenants": QUERY_TENANTS,
+        "queries_ok": statuses["ok"],
+        "queries_rejected": statuses["rejected"],
+        "protocol_errors": statuses["error"],
+        "episodes_completed": episodes,
+        "events_per_subscriber": round(
+            sum(r["events"] for r in sub_results) / len(sub_results), 1
+        ),
+        "query_p50_ms": round(p50 * 1e3, 2),
+        "query_p95_ms": round(p95 * 1e3, 2),
+        "query_p99_ms": round(p99 * 1e3, 2),
+        "stream_lag_p95_s": round(p95_lag, 4),
+        "stream_lag_max_s": round(max_lag, 4),
+        "evicted": evicted,
+    }
+    payload = load_bench_json(REPO_ROOT / BENCH_PERF_FILENAME) or {}
+    payload["serve_scale"] = record
+    write_bench_json(
+        REPO_ROOT / BENCH_PERF_FILENAME,
+        payload,
+        environment_extra={"serve_subscribers": SUBSCRIBERS},
+    )
+    print_table(
+        f"serve scale ({SUBSCRIBERS} subscribers, {QUERY_TENANTS} query "
+        f"tenants, {QUERY_SECONDS:g}s storm)",
+        ("queries ok", "rejected", "p50", "p95", "p99", "lag p95", "lag max"),
+        [(
+            statuses["ok"], statuses["rejected"],
+            f"{p50 * 1e3:.1f}ms", f"{p95 * 1e3:.1f}ms", f"{p99 * 1e3:.1f}ms",
+            f"{p95_lag:.3f}s", f"{max_lag:.3f}s",
+        )],
+    )
+
+    slo = STRICT_P99_S if STRICT else FLOOR_P99_S
+    assert p99 <= slo, (
+        f"query p99 {p99 * 1e3:.1f}ms exceeds the "
+        f"{'strict' if STRICT else 'floor'} SLO {slo * 1e3:.0f}ms"
+    )
+    assert max_lag <= FLOOR_LAG_S, (
+        f"stream delivery lag {max_lag:.2f}s exceeds {FLOOR_LAG_S:.0f}s"
+    )

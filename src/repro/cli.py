@@ -300,6 +300,42 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--corpus", type=_corpus_dir, metavar="DIR",
                       help="write finding reproducers (genome + expected "
                            "fingerprint) as JSON under DIR")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a long-lived multi-tenant diagnosis service over a "
+             "continuously-monitored fabric",
+    )
+    serve.add_argument("scenario", nargs="?", default="pfc-storm",
+                       choices=sorted(SCENARIO_BUILDERS),
+                       help="scenario the fabric replays (default pfc-storm)")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="episode 0 seed; episode k runs at seed+k")
+    serve.add_argument("--unix", metavar="PATH",
+                       help="listen on a unix socket at PATH")
+    serve.add_argument("--port", type=_nonnegative_int, default=None,
+                       help="listen on 127.0.0.1:PORT (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--episodes", type=_positive_int, default=None,
+                       help="stop advancing after N episodes "
+                            "(default: replay forever)")
+    serve.add_argument("--slice-us", type=_positive_float, default=200.0,
+                       help="sim time advanced per executor slice "
+                            "(default 200)")
+    serve.add_argument("--interval-us", type=_positive_float, default=100.0,
+                       help="monitor sampling cadence (default 100)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=2,
+                       help="admitted queries executing/waiting (default 2)")
+    serve.add_argument("--max-queue", type=_nonnegative_int, default=32,
+                       help="admitted queries queued beyond that "
+                            "(default 32)")
+    serve.add_argument("--tenant-rate", type=_positive_float, default=50.0,
+                       help="per-tenant query tokens per second (default 50)")
+    serve.add_argument("--tenant-burst", type=_positive_float, default=20.0,
+                       help="per-tenant token bucket burst (default 20)")
+    serve.add_argument("--sub-queue", type=_positive_int, default=256,
+                       help="per-subscriber event queue bound (default 256)")
     return parser
 
 
@@ -715,10 +751,48 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if findings else 3
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import DiagnosisService, ServeConfig
+
+    if args.unix is None and args.port is None:
+        print("serve: need --unix PATH or --port PORT", file=sys.stderr)
+        return 2
+
+    config = ServeConfig(
+        scenario=args.scenario,
+        seed=args.seed,
+        episodes=args.episodes,
+        slice_us=args.slice_us,
+        interval_us=args.interval_us,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        tenant_rate_per_s=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        sub_queue=args.sub_queue,
+    )
+
+    async def _serve() -> None:
+        service = DiagnosisService(config)
+        await service.start(
+            unix_path=args.unix, host=args.host, port=args.port
+        )
+        for address in service.addresses:
+            print(f"serving {config.scenario} on {address}", flush=True)
+        await service.run_until_signalled()
+        print("serve: shut down cleanly", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "chaos":

@@ -15,6 +15,7 @@ from .perfstats import (
     write_bench_json,
 )
 from .runner import (
+    FabricSession,
     RunConfig,
     RunResult,
     RunSummary,
@@ -42,6 +43,7 @@ __all__ = [
     "PerfStats",
     "load_bench_json",
     "write_bench_json",
+    "FabricSession",
     "RunConfig",
     "RunResult",
     "RunSummary",

@@ -371,242 +371,374 @@ def causal_switches_of(scenario: Scenario, victim: FlowKey) -> Set[str]:
     return causal
 
 
-def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunResult:
-    """Attach the system under test, run, and diagnose every victim."""
-    wall_start = time.perf_counter()
-    config = config if config is not None else RunConfig()
-    kind = config.system
-    net = scenario.network
-    scheme = config.scheme()
-    # Scope the process-global and routing-instance cache counters to this
-    # run by differencing (the caches persist across runs in one process).
-    caches_before = global_cache_counters()
-    ecmp_before = (net.routing.select_cache_hits, net.routing.select_cache_misses)
+class FabricSession:
+    """A live monitored fabric with the system under test attached.
 
-    metrics = MetricsRegistry()
-    profile = StageProfile(metrics)
-    obs: Optional[PipelineObs] = None
-    sim_obs: Optional[SimTraceObserver] = None
-    if config.obs is not None and config.obs.trace:
-        obs = PipelineObs(Tracer(config.obs.build_sink()), metrics)
-        obs.begin_scenario(
-            scenario.name, start_ns=net.sim.now, system=kind.value
+    The construction half of :func:`run_scenario`, factored out so two
+    execution modes share one attach path:
+
+    - **batch** (``repro run`` and every experiment harness):
+      :meth:`advance` once to the scenario's duration, then
+      :meth:`finish` — exactly the old ``run_scenario`` body;
+    - **service** (``repro serve``): :meth:`advance` repeatedly in
+      *bounded sim-time slices* on an executor thread (so an asyncio loop
+      stays responsive between slices), answer on-demand
+      :meth:`diagnose_now` queries between slices, and :meth:`finish`
+      when the episode's duration is reached.
+
+    Because :meth:`~repro.sim.engine.Simulator.run` executes events in
+    timestamp order regardless of how many ``until_ns`` stops partition
+    the timeline, slicing never reorders work: a session advanced in N
+    slices produces byte-identical diagnoses to one advanced in a single
+    call (pinned by ``tests/serve/test_differential.py``).
+    """
+
+    def __init__(
+        self, scenario: Scenario, config: Optional[RunConfig] = None
+    ) -> None:
+        self.wall_start = time.perf_counter()
+        self.scenario = scenario
+        self.config = config = config if config is not None else RunConfig()
+        kind = config.system
+        self.net = net = scenario.network
+        scheme = config.scheme()
+        # Scope the process-global and routing-instance cache counters to
+        # this run by differencing (the caches persist across runs in one
+        # process).
+        self._caches_before = global_cache_counters()
+        self._ecmp_before = (
+            net.routing.select_cache_hits, net.routing.select_cache_misses
         )
-        if config.obs.sim_events:
-            sim_obs = SimTraceObserver(
-                obs.tracer, metrics, parent=obs.scenario_span
+
+        self.metrics = metrics = MetricsRegistry()
+        self.profile = StageProfile(metrics)
+        self.obs: Optional[PipelineObs] = None
+        self._sim_obs: Optional[SimTraceObserver] = None
+        if config.obs is not None and config.obs.trace:
+            self.obs = obs = PipelineObs(Tracer(config.obs.build_sink()), metrics)
+            obs.begin_scenario(
+                scenario.name, start_ns=net.sim.now, system=kind.value
             )
-            for switch in net.switches.values():
-                switch.add_observer(sim_obs)
+            if config.obs.sim_events:
+                self._sim_obs = SimTraceObserver(
+                    obs.tracer, metrics, parent=obs.scenario_span
+                )
+                for switch in net.switches.values():
+                    switch.add_observer(self._sim_obs)
+        obs = self.obs
 
-    monitor: Optional[FabricMonitor] = None
-    if config.monitor is not None and config.monitor.enabled:
-        monitor = FabricMonitor(net, config.monitor, metrics=metrics).start()
+        self.monitor: Optional[FabricMonitor] = None
+        if config.monitor is not None and config.monitor.enabled:
+            self.monitor = FabricMonitor(
+                net, config.monitor, metrics=metrics
+            ).start()
+        monitor = self.monitor
 
-    injector = make_injector(config.faults)
-    deployment = HawkeyeDeployment(
-        net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
-    )
-    collector = TelemetryCollector(
-        deployment, injector=injector, retry=config.retry, obs=obs
-    )
-    engine: Optional[PollingEngine] = None
-    if kind.uses_polling_packets or kind.pfc_blind:
-        # PFC-blind baselines still collect reactively along the victim path
-        # (SpiderMon's collection model); their visibility transform blinds
-        # the *contents* later.
-        engine = PollingEngine(
+        self.injector = make_injector(config.faults)
+        self.deployment = HawkeyeDeployment(
+            net, TelemetryConfig(scheme=scheme, flow_slots=config.flow_slots)
+        )
+        self.collector = collector = TelemetryCollector(
+            self.deployment, injector=self.injector, retry=config.retry, obs=obs
+        )
+        self.engine: Optional[PollingEngine] = None
+        if kind.uses_polling_packets or kind.pfc_blind:
+            # PFC-blind baselines still collect reactively along the victim
+            # path (SpiderMon's collection model); their visibility
+            # transform blinds the *contents* later.
+            self.engine = engine = PollingEngine(
+                net,
+                self.deployment,
+                PollingConfig(
+                    trace_pfc=kind.traces_pfc, use_meters=config.use_meters
+                ),
+                injector=self.injector,
+                obs=obs,
+            )
+            engine.add_mirror_listener(collector.on_polling_mirror)
+        engine = self.engine
+
+        self.agent = agent = DetectionAgent(
             net,
-            deployment,
-            PollingConfig(trace_pfc=kind.traces_pfc, use_meters=config.use_meters),
-            injector=injector,
+            AgentConfig(threshold_multiplier=config.threshold_multiplier),
+            retry=config.retry,
+            injector=self.injector,
             obs=obs,
+            monitor=monitor,
         )
-        engine.add_mirror_listener(collector.on_polling_mirror)
+        if config.retry is not None:
+            if engine is not None:
+                # Path-coverage probe: a trigger is answered only once every
+                # switch the analyzer will want — the victim's routed path
+                # plus whatever the polling trace reached — has delivered a
+                # report the diagnosis would accept (at/after the trigger,
+                # or within the ``select_reports`` slack just before it).
+                # A single lost report, or a polling packet dying mid-path,
+                # leaves a hole here and drives a retransmission.
+                probe_slack_ns = usec(200)
 
-    agent = DetectionAgent(
-        net,
-        AgentConfig(threshold_multiplier=config.threshold_multiplier),
-        retry=config.retry,
-        injector=injector,
-        obs=obs,
-        monitor=monitor,
-    )
-    if config.retry is not None:
-        if engine is not None:
-            # Path-coverage probe: a trigger is answered only once every
-            # switch the analyzer will want — the victim's routed path plus
-            # whatever the polling trace reached — has delivered a report
-            # the diagnosis would accept (at/after the trigger, or within
-            # the ``select_reports`` slack just before it).  A single lost
-            # report, or a polling packet dying mid-path, leaves a hole
-            # here and drives a retransmission.
-            probe_slack_ns = usec(200)
-
-            def _path_probe(victim_key: FlowKey, since_ns: int) -> bool:
-                src_host = net.topology.host_of_ip(victim_key.src_ip)
-                expected = set(
-                    net.routing.switch_path(
-                        src_host, victim_key.dst_ip, victim_key
+                def _path_probe(victim_key: FlowKey, since_ns: int) -> bool:
+                    src_host = net.topology.host_of_ip(victim_key.src_ip)
+                    expected = set(
+                        net.routing.switch_path(
+                            src_host, victim_key.dst_ip, victim_key
+                        )
                     )
+                    expected |= engine.switches_traced_for(victim_key)
+                    return expected <= collector.switches_reported_since(
+                        since_ns - probe_slack_ns
+                    )
+
+                agent.set_report_probe(_path_probe)
+                agent.add_retransmit_listener(engine.reset_victim)
+            else:
+                agent.set_report_probe(collector.has_report_since)
+        if kind.collects_everywhere:
+            # Full-network collection is subject to the same CPU read
+            # latency as polling-driven collection.
+            def _full_poll(_ev) -> None:
+                net.sim.schedule(
+                    collector.read_delay_ns,
+                    lambda: collector.collect_all(net.sim.now),
                 )
-                expected |= engine.switches_traced_for(victim_key)
-                return expected <= collector.switches_reported_since(
-                    since_ns - probe_slack_ns
-                )
 
-            agent.set_report_probe(_path_probe)
-            agent.add_retransmit_listener(engine.reset_victim)
-        else:
-            agent.set_report_probe(collector.has_report_since)
-    if kind.collects_everywhere:
-        # Full-network collection is subject to the same CPU read latency as
-        # polling-driven collection.
-        def _full_poll(_ev) -> None:
-            net.sim.schedule(
-                collector.read_delay_ns, lambda: collector.collect_all(net.sim.now)
-            )
+            agent.add_trigger_listener(_full_poll)
 
-        agent.add_trigger_listener(_full_poll)
+        self._finalized = False
 
-    with profile.stage("simulate"):
-        net.run(scenario.duration_ns)
-    with profile.stage("flush_pending"):
-        collector.flush_pending(net.sim.now)
-    if sim_obs is not None:
-        sim_obs.finish(net.sim.now)
-    if monitor is not None:
-        monitor.finish(net.sim.now)
+    # -- execution -----------------------------------------------------------
 
-    outcomes = diagnose_victims(
-        scenario,
-        config,
-        net,
-        collector.reports,
-        agent.triggers,
-        engine.switches_traced_for if engine is not None else None,
-        net.sim.now,
-        obs=obs,
-        monitor=monitor,
-        profile=profile,
-    )
+    @property
+    def now_ns(self) -> int:
+        return self.net.sim.now
 
-    data_pkt_hops = sum(sw.stats.data_pkts for sw in net.switches.values())
-    data_pkts_sent = sum(f.packets_sent for f in net.flows)
-    polling_pkts = (engine.polling_packets_forwarded if engine else 0) + len(
-        agent.triggers
-    )
-    # Processing overhead = the telemetry one diagnosis consumes (Fig 9a);
-    # NetSight is the exception: it ships every postcard regardless.
-    primary = next(
-        (o for o in sorted(
-            (o for o in outcomes if o.trigger is not None),
-            key=lambda o: o.trigger.time_ns,
-        )),
-        None,
-    )
-    diagnosis_reports = primary.reports_used if primary is not None else {}
-    processing = processing_overhead_bytes(kind, diagnosis_reports, data_pkt_hops)
-    bandwidth = bandwidth_overhead_bytes(
-        kind, polling_pkts, POLLING_PACKET_SIZE, data_pkts_sent, data_pkt_hops
-    )
+    @property
+    def duration_ns(self) -> int:
+        return self.scenario.duration_ns
 
-    causal: Set[str] = set()
-    for victim in scenario.victims:
-        causal |= causal_switches_of(scenario, victim.key)
+    @property
+    def complete(self) -> bool:
+        """Has the scenario's full duration been simulated?"""
+        return self.net.sim.now >= self.scenario.duration_ns
 
-    cache_stats = diff_cache_counters(caches_before, global_cache_counters())
-    cache_stats["ecmp_select"] = {
-        "hits": net.routing.select_cache_hits - ecmp_before[0],
-        "misses": net.routing.select_cache_misses - ecmp_before[1],
-    }
-    for name, (hits, misses) in deployment.cache_counters().items():
-        cache_stats[name] = {"hits": hits, "misses": misses}
+    def advance(self, until_ns: int) -> int:
+        """Run the fabric up to ``until_ns`` (clamped to the duration).
 
-    fault_counters: Dict[str, int] = {}
-    fault_incidents: List[str] = []
-    if injector is not None:
-        fault_counters.update(injector.stats)
-        fault_incidents = injector.incident_log()
-    for name, value in (
-        ("agent_retransmissions", agent.retransmissions),
-        ("agent_retries_recovered", agent.retries_recovered),
-        ("agent_retries_exhausted", agent.retries_exhausted),
-        ("agent_restarts", agent.restarts),
-        ("polling_packets_lost", engine.polling_packets_lost if engine else 0),
-        ("dma_retries", collector.stats.dma_retries),
-        ("dma_reads_abandoned", collector.stats.dma_reads_abandoned),
-        ("stale_reads", collector.stats.stale_reads),
-        ("reports_lost", collector.stats.reports_lost),
-        ("reports_truncated", collector.stats.reports_truncated),
-        ("reports_delayed", collector.stats.reports_delayed),
-    ):
-        if value:
-            fault_counters[name] = value
+        Returns the new simulated time.  Bounded slices are the service
+        plane's unit of work: each call runs on an executor thread while
+        the event loop serves clients, and the clock never runs past the
+        scenario's end.
+        """
+        target = min(until_ns, self.scenario.duration_ns)
+        if target > self.net.sim.now:
+            with self.profile.stage("simulate"):
+                self.net.run(target)
+        return self.net.sim.now
 
-    perf = PerfStats.from_run(
-        scenario.name,
-        net.sim,
-        time.perf_counter() - wall_start,
-        caches=cache_stats,
-        faults=fault_counters,
-        stages=profile.to_dict(),
-    )
+    def finalize(self) -> None:
+        """Flush pending telemetry reads and stop the observers (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        with self.profile.stage("flush_pending"):
+            self.collector.flush_pending(self.net.sim.now)
+        if self._sim_obs is not None:
+            self._sim_obs.finish(self.net.sim.now)
+        if self.monitor is not None:
+            self.monitor.finish(self.net.sim.now)
 
-    # Fold every legacy counter surface into the one registry the
-    # ``--metrics-json`` export reads (the trace-derived ``events.*``
-    # counters are already live in it).
-    metrics.absorb_counters("sim", net.sim.counters())
-    metrics.absorb_counters("cache", cache_stats)
-    metrics.absorb_counters("collection", asdict(collector.stats))
-    metrics.absorb_counters(
-        "agent",
-        {
-            "triggers": len(agent.triggers),
-            "retransmissions": agent.retransmissions,
-            "retries_recovered": agent.retries_recovered,
-            "retries_exhausted": agent.retries_exhausted,
-            "restarts": agent.restarts,
-        },
-    )
-    if engine is not None:
+    # -- on-demand diagnosis (the service plane's query path) ----------------
+
+    def trigger_of(self, victim_key: FlowKey):
+        """The victim's first complaint, or None if it never triggered."""
+        return next(
+            (t for t in self.agent.triggers if t.victim == victim_key), None
+        )
+
+    def diagnose_now(
+        self, victim_key: FlowKey, record_incident: bool = False
+    ) -> Optional[VictimOutcome]:
+        """Diagnose one victim from the telemetry collected *so far*.
+
+        Pure read of the session's collected state: no flush, no trace
+        spans, and (unless ``record_incident``) no timeline write — so a
+        mid-run query can never perturb the final batch-equivalent
+        diagnosis.  Returns ``None`` when the victim has not complained
+        yet (nothing to diagnose is an answer, not an error).
+        """
+        trigger = self.trigger_of(victim_key)
+        if trigger is None:
+            return None
+        victim = next(
+            (v for v in self.scenario.victims if v.key == victim_key), None
+        )
+        if victim is None:
+            return None
+        return _diagnose_one(
+            victim,
+            trigger,
+            self.config,
+            self.net,
+            self.collector.reports,
+            self.engine.switches_traced_for if self.engine is not None else None,
+            self.net.sim.now,
+            Diagnoser(),
+            self.profile,
+            obs=None,
+            monitor=self.monitor if record_incident else None,
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self) -> RunResult:
+        """Finalize, diagnose every victim and account — the batch epilogue."""
+        self.finalize()
+        scenario, config, net = self.scenario, self.config, self.net
+        kind = config.system
+        collector, engine, agent = self.collector, self.engine, self.agent
+        monitor, obs, metrics = self.monitor, self.obs, self.metrics
+
+        outcomes = diagnose_victims(
+            scenario,
+            config,
+            net,
+            collector.reports,
+            agent.triggers,
+            engine.switches_traced_for if engine is not None else None,
+            net.sim.now,
+            obs=obs,
+            monitor=monitor,
+            profile=self.profile,
+        )
+
+        data_pkt_hops = sum(sw.stats.data_pkts for sw in net.switches.values())
+        data_pkts_sent = sum(f.packets_sent for f in net.flows)
+        polling_pkts = (engine.polling_packets_forwarded if engine else 0) + len(
+            agent.triggers
+        )
+        # Processing overhead = the telemetry one diagnosis consumes
+        # (Fig 9a); NetSight is the exception: it ships every postcard
+        # regardless.
+        primary = next(
+            (o for o in sorted(
+                (o for o in outcomes if o.trigger is not None),
+                key=lambda o: o.trigger.time_ns,
+            )),
+            None,
+        )
+        diagnosis_reports = primary.reports_used if primary is not None else {}
+        processing = processing_overhead_bytes(
+            kind, diagnosis_reports, data_pkt_hops
+        )
+        bandwidth = bandwidth_overhead_bytes(
+            kind, polling_pkts, POLLING_PACKET_SIZE, data_pkts_sent, data_pkt_hops
+        )
+
+        causal: Set[str] = set()
+        for victim in scenario.victims:
+            causal |= causal_switches_of(scenario, victim.key)
+
+        cache_stats = diff_cache_counters(
+            self._caches_before, global_cache_counters()
+        )
+        cache_stats["ecmp_select"] = {
+            "hits": net.routing.select_cache_hits - self._ecmp_before[0],
+            "misses": net.routing.select_cache_misses - self._ecmp_before[1],
+        }
+        for name, (hits, misses) in self.deployment.cache_counters().items():
+            cache_stats[name] = {"hits": hits, "misses": misses}
+
+        fault_counters: Dict[str, int] = {}
+        fault_incidents: List[str] = []
+        if self.injector is not None:
+            fault_counters.update(self.injector.stats)
+            fault_incidents = self.injector.incident_log()
+        for name, value in (
+            ("agent_retransmissions", agent.retransmissions),
+            ("agent_retries_recovered", agent.retries_recovered),
+            ("agent_retries_exhausted", agent.retries_exhausted),
+            ("agent_restarts", agent.restarts),
+            ("polling_packets_lost", engine.polling_packets_lost if engine else 0),
+            ("dma_retries", collector.stats.dma_retries),
+            ("dma_reads_abandoned", collector.stats.dma_reads_abandoned),
+            ("stale_reads", collector.stats.stale_reads),
+            ("reports_lost", collector.stats.reports_lost),
+            ("reports_truncated", collector.stats.reports_truncated),
+            ("reports_delayed", collector.stats.reports_delayed),
+        ):
+            if value:
+                fault_counters[name] = value
+
+        perf = PerfStats.from_run(
+            scenario.name,
+            net.sim,
+            time.perf_counter() - self.wall_start,
+            caches=cache_stats,
+            faults=fault_counters,
+            stages=self.profile.to_dict(),
+        )
+
+        # Fold every legacy counter surface into the one registry the
+        # ``--metrics-json`` export reads (the trace-derived ``events.*``
+        # counters are already live in it).
+        metrics.absorb_counters("sim", net.sim.counters())
+        metrics.absorb_counters("cache", cache_stats)
+        metrics.absorb_counters("collection", asdict(collector.stats))
         metrics.absorb_counters(
-            "polling",
+            "agent",
             {
-                "packets_forwarded": engine.polling_packets_forwarded,
-                "packets_suppressed": engine.polling_packets_suppressed,
-                "packets_lost": engine.polling_packets_lost,
+                "triggers": len(agent.triggers),
+                "retransmissions": agent.retransmissions,
+                "retries_recovered": agent.retries_recovered,
+                "retries_exhausted": agent.retries_exhausted,
+                "restarts": agent.restarts,
             },
         )
-    if fault_counters:
-        metrics.absorb_counters("faults", fault_counters)
-    if monitor is not None:
-        metrics.absorb_counters("monitor", monitor.counters())
-    metrics.gauge("run.wall_s").set(perf.wall_s)
-    metrics.gauge("run.sim_ns").set(float(net.sim.now))
+        if engine is not None:
+            metrics.absorb_counters(
+                "polling",
+                {
+                    "packets_forwarded": engine.polling_packets_forwarded,
+                    "packets_suppressed": engine.polling_packets_suppressed,
+                    "packets_lost": engine.polling_packets_lost,
+                },
+            )
+        if fault_counters:
+            metrics.absorb_counters("faults", fault_counters)
+        if monitor is not None:
+            metrics.absorb_counters("monitor", monitor.counters())
+        metrics.gauge("run.wall_s").set(perf.wall_s)
+        metrics.gauge("run.sim_ns").set(float(net.sim.now))
 
-    if obs is not None:
-        obs.end_scenario(net.sim.now)
+        if obs is not None:
+            obs.end_scenario(net.sim.now)
 
-    return RunResult(
-        scenario=scenario,
-        config=config,
-        outcomes=outcomes,
-        collected_switches=collector.collected_switches(),
-        causal_switches=causal,
-        processing_bytes=processing,
-        bandwidth_bytes=bandwidth,
-        polling_packets=polling_pkts,
-        collections=collector.stats.collections,
-        events_run=net.sim.events_run,
-        data_pkt_hops=data_pkt_hops,
-        perf=perf,
-        fault_counters=fault_counters,
-        fault_incidents=fault_incidents,
-        metrics=metrics,
-        obs=obs,
-        monitor=monitor,
-    )
+        return RunResult(
+            scenario=scenario,
+            config=config,
+            outcomes=outcomes,
+            collected_switches=collector.collected_switches(),
+            causal_switches=causal,
+            processing_bytes=processing,
+            bandwidth_bytes=bandwidth,
+            polling_packets=polling_pkts,
+            collections=collector.stats.collections,
+            events_run=net.sim.events_run,
+            data_pkt_hops=data_pkt_hops,
+            perf=perf,
+            fault_counters=fault_counters,
+            fault_incidents=fault_incidents,
+            metrics=metrics,
+            obs=obs,
+            monitor=monitor,
+        )
+
+
+def run_scenario(scenario: Scenario, config: Optional[RunConfig] = None) -> RunResult:
+    """Attach the system under test, run, and diagnose every victim."""
+    session = FabricSession(scenario, config)
+    session.advance(scenario.duration_ns)
+    return session.finish()
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@ from .timeline import ANOMALY_ALERT_CATEGORIES, IncidentTimeline, MonitorInciden
 from .export import (
     jsonl_snapshot,
     prometheus_text,
+    registry_prometheus_text,
     render_dashboard,
     render_html,
     sparkline,
@@ -52,6 +53,7 @@ __all__ = [
     "IncidentTimeline",
     "MonitorIncident",
     "prometheus_text",
+    "registry_prometheus_text",
     "jsonl_snapshot",
     "render_dashboard",
     "render_html",

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 import html
 import json
+import re
 from typing import TYPE_CHECKING, Dict, Iterable, List
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
     from .monitor import FabricMonitor
 
 __all__ = [
     "prometheus_text",
+    "registry_prometheus_text",
     "jsonl_snapshot",
     "sparkline",
     "render_dashboard",
@@ -31,42 +34,141 @@ __all__ = [
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
+# Per-family HELP strings for the monitor's series metrics; families not
+# listed fall back to a generated one-liner so *every* family scraped off
+# the serve endpoint carries HELP + TYPE (the exposition-format contract
+# pinned by tests/serve/test_prometheus_format.py).
+_SERIES_HELP = {
+    "tx_bytes": "Bytes the port transmitted during the last sampling interval.",
+    "buffer_bytes": "Bytes buffered at the port when last sampled.",
+    "ingress_bytes": "Ingress-queue occupancy in bytes when last sampled.",
+    "pause_fraction": "1 when the port's data priority was paused at the sample instant, else 0.",
+    "pause_rx": "PFC PAUSE frames received by the port during the last interval.",
+    "pause_tx": "PFC PAUSE frames sent by the port during the last interval.",
+    "host_pause_share": "Fraction of the last interval covered by host-granted pause horizons.",
+    "ecn_marks": "Packets ECN-marked by the switch during the last interval.",
+    "rtt_inflation": "Worst per-host RTT inflation (multiple of base RTT) in the last interval.",
+}
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
 
 def _prom_name(metric: str) -> str:
-    return "repro_monitor_" + metric.replace(".", "_").replace("-", "_")
+    return "repro_monitor_" + _sanitize_name(metric)
+
+
+def _sanitize_name(metric: str) -> str:
+    """Fold an internal dotted/dashed metric name into the Prometheus
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar."""
+    name = _INVALID_NAME_CHARS.sub("_", metric.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
 
 
 def _prom_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    """Escape a label value per the exposition format: backslash first,
+    then quotes, then raw newlines (subjects are free-form strings —
+    flow keys and fuzzer-built names can contain any of the three)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _family(lines: List[str], name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
 
 
 def prometheus_text(monitor: "FabricMonitor") -> str:
-    """Prometheus text exposition of the monitor's current state."""
+    """Prometheus text exposition of the monitor's current state.
+
+    Every metric family is announced with ``# HELP`` and ``# TYPE``
+    before its first sample, and label values are escaped per the
+    exposition format (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline →
+    ``\\n``) so arbitrary subject/flow strings never corrupt a scrape.
+    """
     lines: List[str] = []
     for metric in sorted(monitor.series):
         name = _prom_name(metric)
-        lines.append(f"# TYPE {name} gauge")
+        help_text = _SERIES_HELP.get(
+            metric, f"Monitor series {metric} (latest sampled value)."
+        )
+        _family(lines, name, "gauge", help_text)
         for subject, series in sorted(monitor.series[metric].items()):
             lines.append(
                 f'{name}{{subject="{_prom_label(subject)}"}} {series.latest():g}'
             )
-    lines.append("# TYPE repro_monitor_alerts_total counter")
+    _family(
+        lines,
+        "repro_monitor_alerts_total",
+        "counter",
+        "Alerts raised by the monitor's rule engine, by category.",
+    )
     for category, count in monitor.engine.alerts_by_category().items():
         lines.append(
             f'repro_monitor_alerts_total{{category="{_prom_label(category)}"}} '
             f"{count}"
         )
-    lines.append("# TYPE repro_monitor_samples_total counter")
+    _family(
+        lines,
+        "repro_monitor_samples_total",
+        "counter",
+        "Sampling ticks the monitor has executed.",
+    )
     lines.append(f"repro_monitor_samples_total {monitor.samples}")
     sketch = monitor.sketch
-    lines.append("# TYPE repro_monitor_sketch_total_bytes counter")
+    _family(
+        lines,
+        "repro_monitor_sketch_total_bytes",
+        "counter",
+        "Total flow bytes folded into the count-min sketch.",
+    )
     lines.append(f"repro_monitor_sketch_total_bytes {sketch.total}")
-    lines.append("# TYPE repro_monitor_flow_bytes_estimate gauge")
+    _family(
+        lines,
+        "repro_monitor_flow_bytes_estimate",
+        "gauge",
+        "Sketch-estimated byte counts of the current heavy-hitter flows.",
+    )
     for key, estimate in monitor.heavy.top():
         lines.append(
             f'repro_monitor_flow_bytes_estimate{{flow="{_prom_label(key)}"}} '
             f"{estimate}"
         )
+    return "\n".join(lines) + "\n"
+
+
+def registry_prometheus_text(
+    registry: "MetricsRegistry", prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition of a :class:`MetricsRegistry`.
+
+    Counters export as ``counter``, gauges as ``gauge``, histograms as
+    ``summary`` (interpolated p50/p95/p99 quantile samples plus
+    ``_sum``/``_count``).  The serve plane mounts this for its
+    ``serve.*`` self-observability metrics next to the monitor's fabric
+    exposition.
+    """
+    doc = registry.to_dict()
+    lines: List[str] = []
+    for name, value in doc["counters"].items():
+        prom = f"{prefix}_{_sanitize_name(name)}"
+        _family(lines, prom, "counter", f"Counter {name}.")
+        lines.append(f"{prom} {value}")
+    for name, value in doc["gauges"].items():
+        prom = f"{prefix}_{_sanitize_name(name)}"
+        _family(lines, prom, "gauge", f"Gauge {name}.")
+        lines.append(f"{prom} {value:g}")
+    for name, hist in doc["histograms"].items():
+        prom = f"{prefix}_{_sanitize_name(name)}"
+        _family(lines, prom, "summary", f"Histogram {name}.")
+        for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            quantile = hist.get(key)
+            if quantile is not None:
+                lines.append(f'{prom}{{quantile="{q:g}"}} {quantile:g}')
+        lines.append(f"{prom}_sum {hist['sum']:g}")
+        lines.append(f"{prom}_count {hist['count']}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,140 @@
+"""Fan-out of the live alert/incident feed to bounded subscriber queues.
+
+One :class:`StreamBroker` sits between the fabric feed (the slice loop
+draining :class:`~repro.monitor.monitor.FabricMonitor` alerts and
+timeline incidents) and every subscriber connection.  Back-pressure
+policy, chosen so a slow consumer can never stall the fabric or grow
+server memory:
+
+- every subscription owns a **bounded** ``asyncio.Queue``; publishing
+  never awaits;
+- when a subscriber's queue is full, the broker **evicts** it: the
+  oldest queued event is dropped to make room for a terminal
+  ``evicted`` event, the subscription stops receiving, and the
+  connection's forwarder closes the stream after delivering the notice.
+  Nothing is ever dropped *without* notice — the client either saw the
+  event or saw a terminal event telling it the stream ended and why
+  (the ``serve_scale`` bench gates this).
+
+Shutdown uses the same mechanism: :meth:`close_all` enqueues a terminal
+``shutdown`` event to every live subscription (evicting the oldest event
+if the queue is full), so every stream ends with an explicit goodbye.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .protocol import event as make_event
+
+__all__ = ["Subscription", "StreamBroker"]
+
+#: Terminal event kinds — after one of these, a subscription is dead.
+TERMINAL_EVENTS = ("evicted", "shutdown", "unsubscribed")
+
+
+class Subscription:
+    """One subscriber's bounded slice of the feed."""
+
+    def __init__(self, sub_id: int, tenant: str, maxsize: int) -> None:
+        self.sub_id = sub_id
+        self.tenant = tenant
+        self.queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue(
+            maxsize=maxsize
+        )
+        self.closed = False       # no further events will be enqueued
+        self.delivered = 0        # events the forwarder wrote to the socket
+        self.dropped = 0          # events discarded to make room for a notice
+
+    def terminal_put(self, message: Dict[str, Any]) -> None:
+        """Enqueue a terminal event, evicting the oldest entry if full."""
+        if self.closed:
+            return
+        self.closed = True
+        while True:
+            try:
+                self.queue.put_nowait(message)
+                return
+            except asyncio.QueueFull:
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - tiny race
+                    pass
+
+
+class StreamBroker:
+    """Registry + fan-out: publish once, deliver to every live queue."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._subs: Dict[int, Subscription] = {}
+        self._next_id = 1
+        self._seq = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def subscribe(self, tenant: str, maxsize: int = 256) -> Subscription:
+        sub = Subscription(self._next_id, tenant, maxsize)
+        self._next_id += 1
+        self._subs[sub.sub_id] = sub
+        self.metrics.inc("serve.stream.subscribed")
+        self.metrics.inc(f"serve.tenant.{tenant}.streams")
+        self.metrics.gauge("serve.stream.active").set(float(len(self._subs)))
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        if self._subs.pop(sub.sub_id, None) is not None:
+            sub.closed = True
+            self.metrics.gauge("serve.stream.active").set(
+                float(len(self._subs))
+            )
+
+    @property
+    def active(self) -> int:
+        return len(self._subs)
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
+    # -- fan-out -------------------------------------------------------------
+
+    def publish(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Deliver one event to every live subscription (never awaits)."""
+        self._seq += 1
+        message = make_event(kind, time.time(), self._seq, **fields)
+        self.metrics.inc("serve.stream.published")
+        for sub in list(self._subs.values()):
+            if sub.closed:
+                continue
+            try:
+                sub.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                # Slow consumer: replace the oldest queued event with a
+                # terminal notice and stop feeding this subscription.
+                self._seq += 1
+                sub.terminal_put(
+                    make_event(
+                        "evicted",
+                        time.time(),
+                        self._seq,
+                        reason="slow-consumer",
+                        dropped=sub.dropped + 1,
+                    )
+                )
+                self.metrics.inc("serve.stream.evicted")
+                self.unsubscribe(sub)
+        return message
+
+    def close_all(self, kind: str = "shutdown", **fields: Any) -> int:
+        """Terminal event to every live stream; returns how many got one."""
+        notified = 0
+        for sub in list(self._subs.values()):
+            self._seq += 1
+            sub.terminal_put(make_event(kind, time.time(), self._seq, **fields))
+            self.unsubscribe(sub)
+            notified += 1
+        return notified

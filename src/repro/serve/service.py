@@ -1,0 +1,625 @@
+"""The diagnosis service: one asyncio loop, one live fabric, many tenants.
+
+Execution model
+---------------
+
+The simulator is not thread-safe and diagnosis reads its live state, so
+*all* fabric work — advancing the sim, finishing an episode, answering a
+query — runs on a **single** executor thread, submitted job by job from
+the event loop:
+
+- the **slice loop** (:meth:`DiagnosisService._pump`) advances the
+  current episode ``slice_ns`` of simulated time per job, then drains
+  newly raised monitor alerts/timeline incidents into the
+  :class:`~repro.serve.broker.StreamBroker`;
+- **queries** interleave between slices on the same thread, so a query
+  observes a quiescent fabric and the sim never races a diagnosis.
+  Query latency is therefore bounded by (queue wait + one slice + the
+  diagnosis itself) — which is exactly what the admission controller
+  bounds and the ``serve_scale`` bench gates at p99.
+
+Episodes: the fabric replays its scenario continuously.  Episode ``k``
+is built at ``seed + k``, advanced to its duration, finished (the batch
+epilogue — flush, per-victim diagnoses, incident linkage) and replaced
+by episode ``k+1``.  Episode 0 is byte-identical to ``repro run
+SCENARIO --seed SEED`` by construction (same
+:class:`~repro.experiments.runner.FabricSession` path; pinned by
+``tests/serve/test_differential.py``).
+
+The same listener speaks two protocols: lines starting with ``GET ``/
+``HEAD `` get a one-shot HTTP response (Prometheus/JSONL/HTML exporters,
+``/healthz``, ``/servicez``); anything else is the line-oriented JSON
+protocol of :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..experiments.runner import FabricSession, RunConfig, RunResult
+from ..monitor.export import (
+    jsonl_snapshot,
+    prometheus_text,
+    registry_prometheus_text,
+    render_html,
+)
+from ..monitor.monitor import MonitorConfig
+from ..obs.metrics import MetricsRegistry
+from ..units import usec
+from ..workloads import SCENARIO_BUILDERS
+from .admission import AdmissionController
+from .broker import TERMINAL_EVENTS, StreamBroker, Subscription
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode,
+    error,
+    event as make_event,
+    ok,
+    parse_request,
+    rejected,
+)
+
+__all__ = ["ServeConfig", "DiagnosisService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` exposes as flags (frozen, picklable)."""
+
+    scenario: str = "pfc-storm"
+    seed: int = 1
+    episodes: Optional[int] = None      # None = replay forever
+    slice_us: float = 200.0             # sim time advanced per executor job
+    interval_us: float = 100.0          # monitor sampling cadence
+    max_inflight: int = 2               # admitted queries executing/waiting
+    max_queue: int = 32                 # extra admitted queries queued
+    tenant_rate_per_s: float = 50.0     # per-tenant token refill
+    tenant_burst: float = 20.0          # per-tenant token cap
+    sub_queue: int = 256                # per-subscriber event queue bound
+    idle_sleep_s: float = 0.02          # loop nap once all episodes finished
+
+    def run_config(self) -> RunConfig:
+        return RunConfig(
+            monitor=MonitorConfig(interval_ns=usec(self.interval_us))
+        )
+
+
+def _execute_query(
+    session: FabricSession, victim_str: Optional[str]
+) -> Dict[str, Any]:
+    """Resolve and diagnose one victim on the executor thread.
+
+    Runs with exclusive access to the fabric (single-thread executor), so
+    it may read triggers/reports freely.  Returns the JSON-ready body of
+    the ``result`` response.
+    """
+    scenario = session.scenario
+    victims = {str(v.key): v.key for v in scenario.victims}
+    if victim_str is None or victim_str == "primary":
+        # The batch notion of "primary": the earliest-complaining victim,
+        # falling back to the scenario's first victim pre-trigger.
+        triggered = [
+            t for t in session.agent.triggers if str(t.victim) in victims
+        ]
+        if triggered:
+            key = min(triggered, key=lambda t: t.time_ns).victim
+        elif victims:
+            key = next(iter(victims.values()))
+        else:
+            return {"status": "no-victims", "victims": []}
+    else:
+        key = victims.get(victim_str)
+        if key is None:
+            return {
+                "status": "unknown-victim",
+                "victims": sorted(victims),
+            }
+    outcome = session.diagnose_now(key)
+    if outcome is None:
+        return {
+            "status": "no-trigger",
+            "victim": str(key),
+            "sim_ns": session.now_ns,
+        }
+    diagnosis = outcome.diagnosis
+    finding = diagnosis.primary()
+    return {
+        "status": "diagnosed",
+        "victim": str(key),
+        "sim_ns": session.now_ns,
+        "trigger_ns": outcome.trigger.time_ns,
+        "anomaly": finding.anomaly.value,
+        "confidence": diagnosis.confidence,
+        "completeness": diagnosis.completeness,
+        "culprits": [str(k) for k in finding.culprit_keys()],
+        "diagnosis": diagnosis.describe(),
+    }
+
+
+class DiagnosisService:
+    """The long-lived server; all state lives on the event loop thread."""
+
+    def __init__(
+        self, config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        if self.config.scenario not in SCENARIO_BUILDERS:
+            raise ValueError(
+                f"unknown scenario {self.config.scenario!r}; choose from "
+                f"{', '.join(sorted(SCENARIO_BUILDERS))}"
+            )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.broker = StreamBroker(self.registry)
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            tenant_rate_per_s=self.config.tenant_rate_per_s,
+            tenant_burst=self.config.tenant_burst,
+            metrics=self.registry,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-sim"
+        )
+        self.session: Optional[FabricSession] = None
+        self.last_result: Optional[RunResult] = None
+        self.episode = -1
+        self.episodes_completed = 0
+        self._alert_cursor = 0
+        self._incident_cursor = 0
+        self._episode_finished = False
+        self._running = False
+        self._started_s = time.monotonic()
+        self._last_slice_s = time.monotonic()
+        self._servers: List[asyncio.AbstractServer] = []
+        self._pump_task: Optional[asyncio.Task] = None
+        self._forwarders: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+        self.addresses: List[str] = []
+
+    # -- episode lifecycle ---------------------------------------------------
+
+    def _start_episode(self) -> None:
+        self.episode += 1
+        seed = self.config.seed + self.episode
+        scenario = SCENARIO_BUILDERS[self.config.scenario](seed=seed)
+        self.session = FabricSession(scenario, self.config.run_config())
+        self._alert_cursor = 0
+        self._incident_cursor = 0
+        self._episode_finished = False
+        self.registry.gauge("serve.episode").set(float(self.episode))
+        self.broker.publish(
+            "episode-start",
+            episode=self.episode,
+            scenario=self.config.scenario,
+            seed=seed,
+        )
+
+    def _drain_feed(self) -> None:
+        """Publish monitor alerts/incidents raised since the last drain."""
+        session = self.session
+        if session is None or session.monitor is None:
+            return
+        monitor = session.monitor
+        alerts = monitor.engine.alerts
+        for alert in alerts[self._alert_cursor:]:
+            self.broker.publish(
+                "alert", episode=self.episode, **alert.to_dict()
+            )
+        self._alert_cursor = len(alerts)
+        incidents = monitor.timeline.incidents
+        for incident in incidents[self._incident_cursor:]:
+            doc = incident.to_dict()
+            doc.pop("alerts", None)  # the feed already streamed them
+            self.broker.publish("incident", episode=self.episode, **doc)
+        self._incident_cursor = len(incidents)
+
+    async def _pump(self) -> None:
+        """The slice loop: advance, drain, finish, repeat (or idle)."""
+        loop = asyncio.get_running_loop()
+        slice_ns = max(1, int(usec(self.config.slice_us)))
+        while self._running:
+            session = self.session
+            if session is None:
+                self._start_episode()
+                continue
+            if not session.complete:
+                t0 = time.perf_counter()
+                target = session.now_ns + slice_ns
+                await loop.run_in_executor(
+                    self._executor, session.advance, target
+                )
+                self.registry.inc("serve.slices")
+                self.registry.histogram("serve.slice.wall_s").observe(
+                    time.perf_counter() - t0
+                )
+                self.registry.gauge("serve.sim_ns").set(float(session.now_ns))
+                self._last_slice_s = time.monotonic()
+                self._drain_feed()
+                continue
+            if not self._episode_finished:
+                result = await loop.run_in_executor(
+                    self._executor, session.finish
+                )
+                self._episode_finished = True
+                self.last_result = result
+                self.episodes_completed += 1
+                self.registry.inc("serve.episodes.completed")
+                self._drain_feed()  # finish() records the incidents
+                outcome = result.primary_outcome()
+                self.broker.publish(
+                    "episode-end",
+                    episode=self.episode,
+                    scenario=self.config.scenario,
+                    seed=self.config.seed + self.episode,
+                    alerts=len(result.monitor.alerts)
+                    if result.monitor is not None else 0,
+                    verdict=(
+                        outcome.diagnosis.primary().anomaly.value
+                        if outcome is not None and outcome.diagnosis is not None
+                        else None
+                    ),
+                )
+                continue
+            if (
+                self.config.episodes is None
+                or self.episode + 1 < self.config.episodes
+            ):
+                self._start_episode()
+                continue
+            # All episodes replayed: stay up, serve queries/scrapes/streams.
+            await asyncio.sleep(self.config.idle_sleep_s)
+
+    # -- query path ----------------------------------------------------------
+
+    async def _handle_query(
+        self, tenant: str, victim: Optional[str], request_id: Any
+    ) -> Dict[str, Any]:
+        reason, retry_after = self.admission.admit(tenant)
+        if reason is not None:
+            return rejected(reason, request_id, retry_after_s=retry_after)
+        session = self.session
+        try:
+            if session is None:
+                return error("not-ready", "no episode is live yet", request_id)
+            t0 = time.perf_counter()
+            body = await asyncio.get_running_loop().run_in_executor(
+                self._executor, _execute_query, session, victim
+            )
+            wall_s = time.perf_counter() - t0
+            self.registry.histogram("serve.query.wall_s").observe(wall_s)
+            self.registry.inc("serve.queries.completed")
+            return ok(
+                "result",
+                request_id,
+                episode=self.episode,
+                wall_s=round(wall_s, 6),
+                **body,
+            )
+        finally:
+            self.admission.release()
+
+    # -- self-observability --------------------------------------------------
+
+    def servicez(self) -> Dict[str, Any]:
+        """The ``/servicez`` document (also the ``stats`` op's body)."""
+        doc = self.registry.to_dict()
+        counters = doc["counters"]
+        tenants: Dict[str, Dict[str, int]] = {}
+        for name, value in counters.items():
+            if not name.startswith("serve.tenant."):
+                continue
+            tenant, _, field = name[len("serve.tenant."):].rpartition(".")
+            tenants.setdefault(tenant, {})[field] = value
+        session = self.session
+        uptime_s = time.monotonic() - self._started_s
+        self.registry.gauge("serve.uptime_s").set(uptime_s)
+        staleness = time.monotonic() - self._last_slice_s
+        self.registry.gauge("serve.feed_staleness_s").set(staleness)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "scenario": self.config.scenario,
+            "seed": self.config.seed,
+            "uptime_s": round(uptime_s, 3),
+            "episode": self.episode,
+            "episodes_completed": self.episodes_completed,
+            "episode_complete": self._episode_finished,
+            "sim_ns": session.now_ns if session is not None else 0,
+            "sim_duration_ns": session.duration_ns if session is not None else 0,
+            "feed_staleness_s": round(staleness, 3),
+            "slice_us": self.config.slice_us,
+            "slices": counters.get("serve.slices", 0),
+            "connections": len(self._writers),
+            "stream": {
+                "active": self.broker.active,
+                "published": counters.get("serve.stream.published", 0),
+                "delivered": counters.get("serve.stream.delivered", 0),
+                "evicted": counters.get("serve.stream.evicted", 0),
+            },
+            "admission": self.admission.counters(),
+            "tenants": tenants,
+            "query_wall_s": doc["histograms"].get("serve.query.wall_s", {}),
+            "slice_wall_s": doc["histograms"].get("serve.slice.wall_s", {}),
+        }
+
+    # -- HTTP (scrape endpoints on the same listener) ------------------------
+
+    async def _render_in_executor(self, fn, *args) -> str:
+        """Exporters read live monitor state: serialize with the sim."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _handle_http(
+        self, request_line: str, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.registry.inc("serve.http.requests")
+        # Drain the (ignored) header block so the client sees a clean close.
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+        parts = request_line.split()
+        path = parts[1] if len(parts) > 1 else "/"
+        path = path.split("?", 1)[0]
+        monitor = self.session.monitor if self.session is not None else None
+        import json as _json
+
+        status, content_type, body = 200, "text/plain; charset=utf-8", ""
+        if path == "/healthz":
+            body = "ok\n" if self._running else "stopping\n"
+        elif path == "/servicez":
+            content_type = "application/json"
+            body = _json.dumps(self.servicez(), indent=2) + "\n"
+        elif monitor is None:
+            status, body = 503, "no live episode\n"
+        elif path == "/metrics":
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            body = await self._render_in_executor(prometheus_text, monitor)
+            body += registry_prometheus_text(self.registry)
+        elif path == "/jsonl":
+            content_type = "application/x-ndjson"
+            body = await self._render_in_executor(
+                lambda m: "\n".join(jsonl_snapshot(m)) + "\n", monitor
+            )
+        elif path in ("/html", "/dashboard"):
+            content_type = "text/html; charset=utf-8"
+            body = await self._render_in_executor(
+                render_html, monitor, f"repro serve: {self.config.scenario}"
+            )
+        else:
+            status, body = 404, f"no such endpoint: {path}\n"
+        payload = body.encode()
+        reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+    # -- the JSON protocol ---------------------------------------------------
+
+    async def _forward(
+        self, sub: Subscription, writer: asyncio.StreamWriter
+    ) -> None:
+        """Drain one subscription's queue onto its connection."""
+        try:
+            while True:
+                message = await sub.queue.get()
+                writer.write(encode(message))
+                await writer.drain()
+                sub.delivered += 1
+                self.registry.inc("serve.stream.delivered")
+                lag = time.time() - message.get("ts", time.time())
+                self.registry.histogram("serve.stream.lag_s").observe(
+                    max(0.0, lag)
+                )
+                if message.get("event") in TERMINAL_EVENTS:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            self.broker.unsubscribe(sub)
+            raise
+
+    async def _dispatch(
+        self,
+        request: Dict[str, Any],
+        state: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+    ) -> Optional[Dict[str, Any]]:
+        op = request["op"]
+        request_id = request.get("id")
+        if op == "hello":
+            state["tenant"] = request.get("tenant") or state["tenant"]
+            return ok(
+                "hello",
+                request_id,
+                protocol=PROTOCOL_VERSION,
+                tenant=state["tenant"],
+                scenario=self.config.scenario,
+                victims=sorted(
+                    str(v.key) for v in self.session.scenario.victims
+                ) if self.session is not None else [],
+            )
+        if op == "ping":
+            return ok("pong", request_id, ts=time.time())
+        if op == "stats":
+            return ok("stats", request_id, stats=self.servicez())
+        if op == "subscribe":
+            if state.get("sub") is not None and not state["sub"].closed:
+                return error(
+                    "already-subscribed",
+                    "one stream per connection; unsubscribe first",
+                    request_id,
+                )
+            sub = self.broker.subscribe(
+                state["tenant"], maxsize=self.config.sub_queue
+            )
+            state["sub"] = sub
+            task = asyncio.ensure_future(self._forward(sub, writer))
+            self._forwarders.add(task)
+            task.add_done_callback(self._forwarders.discard)
+            return ok("subscribed", request_id, sub=sub.sub_id)
+        if op == "unsubscribe":
+            sub = state.get("sub")
+            if sub is None:
+                return error("not-subscribed", "no active stream", request_id)
+            # Terminal notice first (terminal_put is a no-op once closed),
+            # so the forwarder drains the queue and exits cleanly.
+            sub.terminal_put(
+                make_event("unsubscribed", time.time(), 0, sub=sub.sub_id)
+            )
+            self.broker.unsubscribe(sub)
+            state["sub"] = None
+            return ok("unsubscribed", request_id, sub=sub.sub_id)
+        if op == "query":
+            return await self._handle_query(
+                state["tenant"], request.get("victim"), request_id
+            )
+        raise ProtocolError("unknown-op", f"unhandled op {op!r}")
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self.registry.inc("serve.connections.total")
+        state: Dict[str, Any] = {"tenant": "anon", "sub": None}
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(encode(error(
+                        "line-too-long",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if stripped.startswith(b"GET ") or stripped.startswith(b"HEAD "):
+                    await self._handle_http(
+                        stripped.decode("latin-1"), reader, writer
+                    )
+                    break
+                try:
+                    request = parse_request(stripped)
+                except ProtocolError as exc:
+                    self.registry.inc("serve.protocol.errors")
+                    writer.write(encode(error(exc.code, exc.detail)))
+                    await writer.drain()
+                    continue
+                response = await self._dispatch(request, state, writer)
+                if response is not None:
+                    writer.write(encode(response))
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            sub = state.get("sub")
+            if sub is not None:
+                self.broker.unsubscribe(sub)
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        """Open the listener(s), start episode 0 and the slice loop."""
+        if unix_path is None and port is None:
+            raise ValueError("need a unix socket path or a TCP port")
+        self._running = True
+        self._started_s = time.monotonic()
+        limit = 2 * MAX_LINE_BYTES
+        # A subscriber swarm connects in one burst; the default listen
+        # backlog (100) resets the overflow, so size for the swarm.
+        backlog = 1024
+        if unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=unix_path, limit=limit,
+                backlog=backlog,
+            )
+            self._servers.append(server)
+            self.addresses.append(f"unix:{unix_path}")
+        if port is not None:
+            server = await asyncio.start_server(
+                self._handle_client, host or "127.0.0.1", port, limit=limit,
+                backlog=backlog,
+            )
+            self._servers.append(server)
+            sock = server.sockets[0].getsockname()
+            self.addresses.append(f"tcp:{sock[0]}:{sock[1]}")
+        self._start_episode()
+        self._pump_task = asyncio.ensure_future(self._pump())
+
+    async def stop(self, reason: str = "requested") -> None:
+        """Shut down cleanly: goodbye every stream, close every socket,
+        join the executor.  Idempotent."""
+        if not self._running:
+            await self._stopped.wait()
+            return
+        self._running = False
+        if self._pump_task is not None:
+            # The pump exits on the flag; it only ever awaits one bounded
+            # slice (or a short idle nap), so this join is bounded too.
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._pump_task
+        self.broker.close_all("shutdown", reason=reason)
+        if self._forwarders:
+            # Every forwarder has a terminal event queued; give them a
+            # bounded window to flush it, then cancel stragglers.
+            done, pending = await asyncio.wait(
+                list(self._forwarders), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(list(pending), timeout=1.0)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+
+    async def run_until_signalled(self) -> None:
+        """Serve until SIGTERM/SIGINT (the CLI's main loop)."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop_requested.set)
+        try:
+            await stop_requested.wait()
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+            await self.stop(reason="signal")

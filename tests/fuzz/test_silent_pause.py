@@ -1,0 +1,75 @@
+"""Triage of the fuzzer's ``silent-pause`` corpus finds.
+
+Both checked-in reproducers (``scenarios/silent-pause-*.json``) hit the
+same blind spot: the fabric is visibly unhealthy — the monitor's rule
+engine raises alerts — yet no victim's RTT ever crosses the detection
+threshold, so the Hawkeye pipeline never triggers and the diagnoser
+returns **no verdict**.  The continuous monitor is the only line of
+defense for this class (see DESIGN.md, "Known limitations").
+
+These tests pin the triaged behaviour per entry so a change to either
+side of the gap — the detection threshold starts firing, or the monitor
+goes quiet — shows up as an explicit regression, not silent drift.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "scenarios"
+
+# entry name -> alert categories the monitor must raise while the
+# diagnoser stays silent (from the triage of each find).
+TRIAGED = {
+    "silent-pause-87b44e7770": {"rtt_inflation", "throughput_collapse"},
+    "silent-pause-d73f26f279": {
+        "pause_backpressure", "pfc_storm", "throughput_collapse"
+    },
+}
+
+ENTRIES = {
+    e.name: e
+    for e in load_corpus(str(CORPUS_DIR))
+    if "silent-pause" in e.interest
+}
+
+
+def test_both_triaged_finds_are_checked_in():
+    assert set(TRIAGED) <= set(ENTRIES), (
+        f"missing corpus entries: {set(TRIAGED) - set(ENTRIES)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TRIAGED))
+def test_monitor_alerts_while_diagnoser_is_silent(name):
+    entry = ENTRIES[name]
+    ok, evaluation = replay_entry(entry)
+    assert ok, f"{name}: fingerprint drifted on replay"
+    obs = evaluation.observation
+
+    # The gap, both sides pinned:
+    # 1. the detection threshold sleeps through the anomaly — no victim
+    #    complaint, hence no provenance walk and no verdict;
+    assert obs.triggered is False
+    assert obs.verdict == "no-verdict"
+    assert obs.confidence == "none"
+
+    # 2. the continuous monitor *does* see it — the triaged alert
+    #    categories, including at least one congestion/pause signal.
+    assert set(obs.alert_categories) == TRIAGED[name]
+
+    # That combination is exactly the "silent-pause" interest definition.
+    assert "silent-pause" in evaluation.interest
+
+
+@pytest.mark.parametrize("name", sorted(TRIAGED))
+def test_finds_are_distinct_blind_spots(name):
+    """d73f26f279 shows outright PFC-storm alerts with no trigger;
+    87b44e7770 inflates RTT below threshold with no pause category at
+    all.  They must stay distinct coverage points."""
+    entry = ENTRIES[name]
+    other = next(n for n in TRIAGED if n != name)
+    assert entry.fingerprint != ENTRIES[other].fingerprint
+    assert set(entry.observation.alert_categories) == TRIAGED[name]

@@ -1,0 +1,116 @@
+"""Renderers on degenerate inputs: empty fabrics, zero alerts, one sample.
+
+The dashboard/HTML paths are usually exercised on fully-populated
+monitors; these tests pin the edges — a monitor that never sampled, ring
+series with zero or one point, an incident-free timeline — where
+min()/max()/div-by-span code loves to blow up.
+"""
+
+import pytest
+
+from repro.monitor import FabricMonitor, MonitorConfig
+from repro.monitor.export import (
+    jsonl_snapshot,
+    prometheus_text,
+    render_dashboard,
+    render_html,
+    sparkline,
+)
+from repro.sim import Network
+from repro.topology import build_dumbbell
+from repro.units import msec
+
+
+@pytest.fixture
+def unsampled_monitor():
+    """A monitor attached to a fabric that never ran: zero samples,
+    zero series, zero alerts."""
+    network = Network(build_dumbbell(hosts_per_side=2))
+    return FabricMonitor(network, MonitorConfig())
+
+
+@pytest.fixture
+def single_sample_monitor():
+    """Exactly one sampling tick: every ring series holds one point."""
+    network = Network(build_dumbbell(hosts_per_side=2))
+    monitor = FabricMonitor(
+        network, MonitorConfig(interval_ns=int(msec(10)))
+    ).start()
+    network.sim.run(until_ns=int(msec(10)))
+    return monitor
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_single_sample(self):
+        out = sparkline([5.0])
+        assert len(out) == 1
+
+    def test_constant_series_is_flat(self):
+        out = sparkline([3.0, 3.0, 3.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_width_truncates_from_the_left(self):
+        out = sparkline([0.0] * 100 + [1.0], width=4)
+        assert len(out) == 4
+
+
+class TestUnsampledMonitor:
+    def test_dashboard_renders(self, unsampled_monitor):
+        out = render_dashboard(unsampled_monitor)
+        assert "fabric monitor dashboard" in out
+        assert "x 0 samples" in out
+
+    def test_html_renders(self, unsampled_monitor):
+        out = render_html(unsampled_monitor, title="degenerate")
+        assert out.lstrip().startswith("<!DOCTYPE html>")
+        assert "degenerate" in out
+
+    def test_prometheus_renders(self, unsampled_monitor):
+        out = prometheus_text(unsampled_monitor)
+        # No series families, but the scalar families must still appear,
+        # fully announced (header-only families are legal exposition).
+        assert "# TYPE repro_monitor_samples_total counter" in out
+        assert "repro_monitor_samples_total 0" in out
+        assert "# TYPE repro_monitor_alerts_total counter" in out
+
+    def test_jsonl_renders(self, unsampled_monitor):
+        lines = list(jsonl_snapshot(unsampled_monitor))
+        assert lines  # at least the meta record
+
+    def test_zero_alerts_timeline(self, unsampled_monitor):
+        out = render_dashboard(unsampled_monitor)
+        # The timeline section renders without a single alert/incident.
+        assert unsampled_monitor.alerts == []
+        assert unsampled_monitor.timeline.incidents == []
+
+
+class TestSingleSampleMonitor:
+    def test_dashboard_renders_one_point_series(self, single_sample_monitor):
+        assert single_sample_monitor.samples >= 1
+        out = render_dashboard(single_sample_monitor)
+        assert "fabric monitor dashboard" in out
+
+    def test_html_renders(self, single_sample_monitor):
+        out = render_html(single_sample_monitor)
+        assert "</html>" in out
+
+    def test_prometheus_parseable(self, single_sample_monitor):
+        out = prometheus_text(single_sample_monitor)
+        for line in out.splitlines():
+            if line and not line.startswith("#"):
+                # name[{labels}] value — two space-separated fields.
+                assert len(line.rsplit(" ", 1)) == 2
+
+
+class TestMaxSubjectsClamp:
+    def test_tiny_max_subjects(self, single_sample_monitor):
+        out = render_dashboard(single_sample_monitor, max_subjects=1)
+        assert "more subject(s)" in out or "fabric monitor" in out
+
+    def test_tiny_width(self, single_sample_monitor):
+        out = render_dashboard(single_sample_monitor, width=1)
+        assert "fabric monitor dashboard" in out

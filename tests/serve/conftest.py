@@ -1,0 +1,48 @@
+"""Shared plumbing for the serve tests: an in-process service fixture.
+
+Everything runs on a unix socket under ``tmp_path`` — no ports, no
+subprocesses (except the SIGTERM test, which needs a real process to
+signal).  The environment has no pytest-asyncio, so each test drives its
+own loop with ``asyncio.run``.
+"""
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.serve import DiagnosisService, ServeConfig
+
+
+@pytest.fixture
+def serving(tmp_path):
+    """An async context manager factory: ``async with serving(...)``.
+
+    Yields ``(service, socket_path)`` with the service already listening
+    and episode 0 live; stops the service (idempotently) on exit.
+    """
+
+    @asynccontextmanager
+    async def _serving(**overrides):
+        overrides.setdefault("scenario", "pfc-storm")
+        overrides.setdefault("episodes", 1)
+        overrides.setdefault("slice_us", 500.0)
+        config = ServeConfig(**overrides)
+        service = DiagnosisService(config)
+        path = str(tmp_path / "serve.sock")
+        await service.start(unix_path=path)
+        try:
+            yield service, path
+        finally:
+            await service.stop()
+
+    return _serving
+
+
+async def wait_episode_complete(service, timeout_s=60.0):
+    """Poll until the live episode has been finished (batch epilogue ran)."""
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not service._episode_finished:
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("episode did not complete in time")
+        await asyncio.sleep(0.02)

@@ -1,0 +1,115 @@
+"""StreamBroker units: fan-out, bounded queues, eviction-with-notice."""
+
+import asyncio
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import StreamBroker
+from repro.serve.broker import TERMINAL_EVENTS
+
+
+def _drain(sub):
+    events = []
+    while True:
+        try:
+            events.append(sub.queue.get_nowait())
+        except asyncio.QueueEmpty:
+            return events
+
+
+class TestFanOut:
+    def test_every_subscriber_sees_every_event(self):
+        async def main():
+            broker = StreamBroker()
+            subs = [broker.subscribe(f"t{i}") for i in range(3)]
+            broker.publish("alert", category="pfc_storm")
+            broker.publish("incident", victim="f1")
+            for sub in subs:
+                kinds = [e["event"] for e in _drain(sub)]
+                assert kinds == ["alert", "incident"]
+
+        asyncio.run(main())
+
+    def test_seq_is_global_and_monotonic(self):
+        async def main():
+            broker = StreamBroker()
+            sub = broker.subscribe("a")
+            for _ in range(5):
+                broker.publish("alert")
+            seqs = [e["seq"] for e in _drain(sub)]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == 5
+
+        asyncio.run(main())
+
+    def test_unsubscribe_stops_delivery(self):
+        async def main():
+            broker = StreamBroker()
+            sub = broker.subscribe("a")
+            broker.unsubscribe(sub)
+            broker.publish("alert")
+            assert _drain(sub) == []
+            assert broker.active == 0
+
+        asyncio.run(main())
+
+
+class TestEviction:
+    def test_slow_consumer_evicted_with_notice(self):
+        async def main():
+            registry = MetricsRegistry()
+            broker = StreamBroker(registry)
+            slow = broker.subscribe("slow", maxsize=2)
+            fast = broker.subscribe("fast", maxsize=64)
+            for i in range(6):
+                broker.publish("alert", n=i)
+            # The slow queue holds exactly maxsize events and the LAST one
+            # is the terminal eviction notice — dropped events are counted,
+            # never silent.
+            events = _drain(slow)
+            assert len(events) == 2
+            assert events[-1]["event"] == "evicted"
+            assert events[-1]["reason"] == "slow-consumer"
+            assert events[-1]["dropped"] >= 1
+            assert slow.closed
+            assert broker.active == 1  # the fast one lives on
+            assert len(_drain(fast)) == 6
+            counters = registry.to_dict()["counters"]
+            assert counters["serve.stream.evicted"] == 1
+
+        asyncio.run(main())
+
+    def test_evicted_subscription_gets_nothing_more(self):
+        async def main():
+            broker = StreamBroker()
+            slow = broker.subscribe("slow", maxsize=1)
+            for i in range(10):
+                broker.publish("alert", n=i)
+            events = _drain(slow)
+            assert [e["event"] for e in events] == ["evicted"]
+
+        asyncio.run(main())
+
+
+class TestShutdown:
+    def test_close_all_notifies_every_stream(self):
+        async def main():
+            broker = StreamBroker()
+            subs = [broker.subscribe(f"t{i}", maxsize=4) for i in range(4)]
+            # One subscriber is completely full: the notice must still land.
+            full = subs[0]
+            for _ in range(4):
+                full.queue.put_nowait({"event": "alert", "seq": 0, "ts": 0})
+            notified = broker.close_all("shutdown", reason="test")
+            assert notified == 4
+            assert broker.active == 0
+            for sub in subs:
+                events = _drain(sub)
+                assert events[-1]["event"] == "shutdown"
+                assert events[-1]["reason"] == "test"
+
+        asyncio.run(main())
+
+    def test_terminal_kinds_cover_shutdown_paths(self):
+        assert "evicted" in TERMINAL_EVENTS
+        assert "shutdown" in TERMINAL_EVENTS
+        assert "unsubscribed" in TERMINAL_EVENTS

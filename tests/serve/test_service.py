@@ -1,0 +1,362 @@
+"""Service integration on a unix socket: protocol, queries, HTTP, lifecycle.
+
+Every test runs a real :class:`DiagnosisService` in-process and talks to
+it exactly like an external client would — through the socket.
+"""
+
+import asyncio
+import json
+import threading
+
+from tests.serve.conftest import wait_episode_complete
+
+from repro.serve import ServeClient, http_get
+from repro.serve.protocol import encode
+
+
+class TestJsonProtocol:
+    def test_hello_binds_tenant_and_lists_victims(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                reply = await client.hello("team-a")
+                assert reply["ok"] is True
+                assert reply["tenant"] == "team-a"
+                assert reply["protocol"] == 1
+                assert reply["victims"]  # pfc-storm has victims
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_ping_and_stats(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                pong = await client.ping()
+                assert pong["type"] == "pong"
+                stats = await client.stats()
+                doc = stats["stats"]
+                assert doc["scenario"] == "pfc-storm"
+                assert doc["connections"] == 1
+                assert "admission" in doc and "stream" in doc
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_malformed_requests_get_errors_not_disconnects(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                reader, writer = await asyncio.open_unix_connection(path)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["type"] == "error"
+                assert reply["error"] == "bad-json"
+                writer.write(encode({"op": "warp-drive"}))
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["error"] == "unknown-op"
+                # The connection survived both errors.
+                writer.write(encode({"op": "ping", "id": 1}))
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["type"] == "pong" and reply["id"] == 1
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(main())
+
+    def test_protocol_errors_counted(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                reader, writer = await asyncio.open_unix_connection(path)
+                writer.write(b"{broken\n")
+                await writer.drain()
+                await reader.readline()
+                counters = service.registry.to_dict()["counters"]
+                assert counters["serve.protocol.errors"] == 1
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestStreaming:
+    def test_subscriber_sees_feed_in_seq_order(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path, tenant="t")
+                reply = await client.subscribe()
+                assert reply["type"] == "subscribed"
+                await wait_episode_complete(service)
+                events = []
+                try:
+                    while True:
+                        events.append(await client.next_event(timeout=1.0))
+                except asyncio.TimeoutError:
+                    pass
+                kinds = {e["event"] for e in events}
+                # pfc-storm raises monitor alerts and records an incident.
+                assert "alert" in kinds
+                assert "incident" in kinds
+                assert "episode-end" in kinds
+                seqs = [e["seq"] for e in events]
+                assert seqs == sorted(seqs)
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_double_subscribe_rejected(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                await client.subscribe()
+                reply = await client.subscribe()
+                assert reply["type"] == "error"
+                assert reply["error"] == "already-subscribed"
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_unsubscribe_ends_stream_with_terminal_event(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                await client.subscribe()
+                reply = await client.unsubscribe()
+                assert reply["type"] == "unsubscribed"
+                # The stream's last event is the terminal notice.
+                terminal = None
+                try:
+                    while True:
+                        terminal = await client.next_event(timeout=1.0)
+                        if terminal["event"] == "unsubscribed":
+                            break
+                except asyncio.TimeoutError:
+                    pass
+                assert terminal is not None
+                assert terminal["event"] == "unsubscribed"
+                assert service.broker.active == 0
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_slow_consumer_evicted_with_notice(self, serving):
+        async def main():
+            async with serving(sub_queue=2) as (service, path):
+                reader, writer = await asyncio.open_unix_connection(path)
+                writer.write(encode({"op": "subscribe", "id": 1}))
+                await writer.drain()
+                await reader.readline()  # subscribed ack
+                # Never read another byte: the forwarder blocks on the
+                # transport's high-water mark, the bounded queue fills and
+                # the broker evicts.  Publish enough to overflow both.
+                for n in range(5000):
+                    service.broker.publish("alert", n=n)
+                    if service.broker.active == 0:
+                        break
+                    if n % 100 == 0:
+                        await asyncio.sleep(0)  # let the forwarder run
+                assert service.broker.active == 0
+                counters = service.registry.to_dict()["counters"]
+                assert counters["serve.stream.evicted"] == 1
+                # Now drain the socket: the stream ends with the notice.
+                terminal = None
+                while terminal is None:
+                    line = await asyncio.wait_for(reader.readline(), 10.0)
+                    assert line, "stream ended without an eviction notice"
+                    message = json.loads(line)
+                    if message.get("event") == "evicted":
+                        terminal = message
+                assert terminal["reason"] == "slow-consumer"
+                assert terminal["dropped"] >= 1
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestQueries:
+    def test_query_returns_diagnosis_after_trigger(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                await wait_episode_complete(service)
+                client = await ServeClient.connect(unix_path=path, tenant="t")
+                reply = await client.query()
+                assert reply["ok"] is True
+                assert reply["status"] == "diagnosed"
+                assert reply["anomaly"] == "pfc-storm"
+                assert reply["confidence"] == "full"
+                assert "pfc-storm" in reply["diagnosis"]
+                assert reply["trigger_ns"] > 0
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_query_unknown_victim(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                reply = await client.query(victim="10.9.9.9:1->10.9.9.8:2/17")
+                assert reply["ok"] is True
+                assert reply["status"] == "unknown-victim"
+                assert reply["victims"]  # tells the caller what exists
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_rate_limited_tenant_gets_explicit_rejection(self, serving):
+        async def main():
+            async with serving(
+                tenant_rate_per_s=0.001, tenant_burst=1.0
+            ) as (service, path):
+                client = await ServeClient.connect(unix_path=path, tenant="t")
+                first = await client.query()
+                assert first["type"] != "rejected"
+                second = await client.query()
+                assert second["ok"] is False
+                assert second["type"] == "rejected"
+                assert second["reason"] == "rate-limit"
+                assert second["retry_after_s"] > 0
+                # Another tenant is unaffected.
+                other = await ServeClient.connect(
+                    unix_path=path, tenant="other"
+                )
+                reply = await other.query()
+                assert reply["type"] != "rejected"
+                await client.close()
+                await other.close()
+
+        asyncio.run(main())
+
+
+class TestHttpEndpoints:
+    def _get(self, path, sock):
+        return http_get(path, unix_path=sock)
+
+    def test_healthz(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                loop = asyncio.get_running_loop()
+                status, _, body = await loop.run_in_executor(
+                    None, self._get, "/healthz", path
+                )
+                assert status == 200
+                assert body == "ok\n"
+
+        asyncio.run(main())
+
+    def test_servicez_is_json_with_counters(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                loop = asyncio.get_running_loop()
+                status, headers, body = await loop.run_in_executor(
+                    None, self._get, "/servicez", path
+                )
+                assert status == 200
+                assert headers["content-type"] == "application/json"
+                doc = json.loads(body)
+                assert doc["scenario"] == "pfc-storm"
+                assert doc["protocol"] == 1
+                assert doc["uptime_s"] >= 0
+                assert "admission" in doc
+                assert "tenants" in doc
+
+        asyncio.run(main())
+
+    def test_metrics_jsonl_html_and_404(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                await wait_episode_complete(service)
+                loop = asyncio.get_running_loop()
+                status, headers, body = await loop.run_in_executor(
+                    None, self._get, "/metrics", path
+                )
+                assert status == 200
+                assert body.startswith("# HELP")
+                assert "repro_serve_" in body
+                status, _, body = await loop.run_in_executor(
+                    None, self._get, "/jsonl", path
+                )
+                assert status == 200
+                assert all(
+                    json.loads(line) for line in body.splitlines() if line
+                )
+                status, _, body = await loop.run_in_executor(
+                    None, self._get, "/html", path
+                )
+                assert status == 200
+                assert body.lstrip().startswith("<!DOCTYPE html>")
+                status, _, _ = await loop.run_in_executor(
+                    None, self._get, "/nope", path
+                )
+                assert status == 404
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_stop_leaves_no_threads_behind(self, serving):
+        before = {t.name for t in threading.enumerate()}
+
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                await client.subscribe()
+                # stop() runs in the fixture's finally; close the client
+                # here so its reader task dies inside the loop.
+                await asyncio.sleep(0.1)
+                await client.close()
+
+        asyncio.run(main())
+        after = {t.name for t in threading.enumerate()}
+        leaked = {
+            name for name in after - before if name.startswith("repro-serve")
+        }
+        assert not leaked, f"leaked executor threads: {leaked}"
+
+    def test_stop_is_idempotent_and_notifies_streams(self, serving):
+        async def main():
+            async with serving() as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                await client.subscribe()
+                await service.stop(reason="test")
+                await service.stop(reason="again")  # second stop: no-op
+                terminal = None
+                try:
+                    while True:
+                        terminal = await client.next_event(timeout=2.0)
+                        if terminal["event"] == "shutdown":
+                            break
+                except asyncio.TimeoutError:
+                    pass
+                assert terminal is not None
+                assert terminal["event"] == "shutdown"
+                assert terminal["reason"] == "test"
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_multi_episode_reseeds(self, serving):
+        # Episode 0's episode-start predates any subscriber; the stream
+        # shows both episode-ends and episode 1's reseeded start.
+        async def main():
+            async with serving(episodes=2, slice_us=1000.0) as (service, path):
+                client = await ServeClient.connect(unix_path=path)
+                await client.subscribe()
+                ends, start1 = [], None
+                while len(ends) < 2:
+                    event = await client.next_event(timeout=60.0)
+                    if event["event"] == "episode-end":
+                        ends.append(event)
+                    elif event["event"] == "episode-start":
+                        start1 = event
+                assert [e["episode"] for e in ends] == [0, 1]
+                assert start1 is not None
+                assert start1["episode"] == 1
+                assert start1["seed"] == service.config.seed + 1
+                assert ends[1]["seed"] == ends[0]["seed"] + 1
+                assert service.episodes_completed == 2
+                await client.close()
+
+        asyncio.run(main())

@@ -1,0 +1,136 @@
+"""Clean shutdown under load: SIGTERM a real serve process with a swarm
+attached and verify every stream gets a goodbye and nothing leaks.
+
+This is the one serve test that uses a subprocess — signal delivery and
+process-exit hygiene can't be faked in-process.  The in-process
+counterpart (executor-thread leak check) lives in test_service.py.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+SUBSCRIBERS = 20
+QUERIES = 50
+
+
+def _spawn_serve(sock_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "pfc-storm",
+            "--unix", str(sock_path), "--seed", "3", "--slice-us", "500",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def _wait_for_socket(sock_path, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while not os.path.exists(sock_path):
+        if time.monotonic() > deadline:
+            raise TimeoutError("serve socket never appeared")
+        time.sleep(0.05)
+
+
+class TestSigtermSwarm:
+    def test_sigterm_clean_shutdown_with_swarm_attached(self, tmp_path):
+        sock_path = str(tmp_path / "serve.sock")
+        proc = _spawn_serve(sock_path)
+        try:
+            _wait_for_socket(sock_path)
+
+            async def swarm():
+                subscribers = []
+                for i in range(SUBSCRIBERS):
+                    client = await ServeClient.connect(
+                        unix_path=sock_path, tenant=f"sub-{i % 4}"
+                    )
+                    reply = await client.subscribe()
+                    assert reply["type"] == "subscribed"
+                    subscribers.append(client)
+
+                querier = await ServeClient.connect(
+                    unix_path=sock_path, tenant="querier"
+                )
+                statuses = {"ok": 0, "rejected": 0, "error": 0}
+                for _ in range(QUERIES):
+                    reply = await querier.query()
+                    if reply.get("ok"):
+                        statuses["ok"] += 1
+                    elif reply.get("type") == "rejected":
+                        statuses["rejected"] += 1
+                    else:
+                        statuses["error"] += 1
+                # Load shedding is allowed; protocol errors are not.
+                assert statuses["error"] == 0
+                assert statuses["ok"] >= 1
+
+                proc.send_signal(signal.SIGTERM)
+
+                # Every subscriber stream must end with a terminal
+                # shutdown event — that is the clean-shutdown contract.
+                goodbyes = 0
+                for client in subscribers:
+                    while True:
+                        event = await client.next_event(timeout=30.0)
+                        if event["event"] == "shutdown":
+                            goodbyes += 1
+                            break
+                assert goodbyes == SUBSCRIBERS
+
+                for client in subscribers:
+                    await client.close()
+                await querier.close()
+
+            asyncio.run(swarm())
+
+            stdout, stderr = "", ""
+            try:
+                stdout, stderr = proc.communicate(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                stdout, stderr = proc.communicate()
+                raise AssertionError(
+                    "serve did not exit after SIGTERM\n"
+                    f"stdout: {stdout}\nstderr: {stderr}"
+                )
+            assert proc.returncode == 0, (
+                f"serve exited {proc.returncode}\n"
+                f"stdout: {stdout}\nstderr: {stderr}"
+            )
+            # The final line only prints after stop() has joined the
+            # executor and closed every socket.
+            assert "shut down cleanly" in stdout
+            assert "Traceback" not in stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    def test_sigint_also_shuts_down_cleanly(self, tmp_path):
+        sock_path = str(tmp_path / "serve.sock")
+        proc = _spawn_serve(sock_path)
+        try:
+            _wait_for_socket(sock_path)
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=30.0)
+            assert proc.returncode == 0, f"stderr: {stderr}"
+            assert "shut down cleanly" in stdout
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

@@ -22,6 +22,7 @@ SMOKED = [
     "quickstart.py",
     "continuous_monitoring.py",
     "pfc_storm_monitoring.py",
+    "serve_client.py",
 ]
 
 
@@ -62,3 +63,12 @@ def test_continuous_example_correlates_alerts_with_verdicts():
     assert "live alert feed" in proc.stdout
     assert "early warning: True" in proc.stdout
     assert "fabric dashboard" in proc.stdout
+
+
+def test_serve_example_plays_the_service_plane():
+    proc = run_example("serve_client.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "query answered" in proc.stdout
+    assert "incident: pfc-storm" in proc.stdout
+    assert "stream closed by server (shutdown)" in proc.stdout
+    assert "service plane example: all contracts held" in proc.stdout
